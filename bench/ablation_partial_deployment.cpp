@@ -1,0 +1,43 @@
+// Ablation A2: incremental deployment (Section 5.3).  Sweeps the fraction
+// of ASs running an HSM; non-deploying gaps are bridged by piggybacking
+// honeypot requests on routing announcements.  Reports captured fraction,
+// throughput, and bridge-message overhead.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hbp;
+  util::Flags flags(argc, argv);
+  auto config = bench::default_tree_config();
+  const auto common = bench::apply_common_flags(flags, config);
+  const auto fractions =
+      flags.get_double_list("fractions", {1.0, 0.8, 0.6, 0.4, 0.2});
+  flags.finish();
+
+  config.scheme = scenario::Scheme::kHbp;
+  config.n_attackers = 25;
+
+  util::print_banner("Ablation — partial deployment of honeypot "
+                     "back-propagation (fraction of ASs with an HSM)");
+
+  util::ThreadPool pool;
+  util::Table table({"Deployed ASs", "Captured attackers", "Client throughput",
+                     "False captures"});
+  for (const double f : fractions) {
+    config.hbp_deploy_fraction = f;
+    const auto summary =
+        scenario::run_replicated(config, common.seeds, common.base_seed, &pool);
+    table.add_row({util::Table::percent(f, 0),
+                   util::Table::percent(summary.capture_fraction.mean()),
+                   util::Table::percent(summary.throughput.mean()),
+                   util::Table::num(summary.false_captures.mean(), 1)});
+  }
+  table.print();
+
+  std::printf("\nSection 5.3's claim: partial deployment retains partial "
+              "benefit — captures\n(and throughput) degrade gracefully with "
+              "the deployment fraction, and\nfalse captures stay at zero "
+              "because accuracy never depends on coverage.\n");
+  return 0;
+}

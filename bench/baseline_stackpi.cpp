@@ -1,0 +1,130 @@
+// Baseline comparison: StackPi-style victim-side mark filtering vs
+// honeypot back-propagation (Section 2: "the scheme's accuracy, in terms
+// of false positive and false negative rates, deteriorates with a large
+// number of dispersed attackers").
+//
+// Setup: StackPi markers on every router of the Fig. 7 tree; the victim
+// learns the marks of packets that hit honeypot windows (the same exact
+// signature source HBP uses) and then filters.  False positives =
+// legitimate clients whose path fingerprint collides with a blacklisted
+// mark; HBP's switch-port captures have no analogous collision mode.
+#include <cstdio>
+
+#include <memory>
+
+#include "marking/stackpi.hpp"
+#include "net/host.hpp"
+#include "topo/tree.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Accuracy {
+  double false_positive_rate = 0.0;  // legit clients collaterally dropped
+  double false_negative_rate = 0.0;  // attackers whose marks were missed
+  std::size_t marks = 0;
+};
+
+Accuracy run(int n_attackers, int n_clients, std::size_t leaves,
+             std::uint64_t seed) {
+  using namespace hbp;
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  topo::TreeParams tp;
+  tp.leaf_count = leaves;
+  util::Rng rng(seed);
+  const topo::Tree tree = topo::build_tree(network, rng, tp);
+  network.compute_routes();
+
+  marking::StackPiParams params;
+  std::vector<std::unique_ptr<marking::PiMarker>> markers;
+  auto install = [&](sim::NodeId r) {
+    markers.push_back(std::make_unique<marking::PiMarker>(
+        static_cast<net::Router&>(network.node(r)), params));
+  };
+  install(tree.gateway);
+  for (const sim::NodeId r : tree.interior_routers) install(r);
+  for (const sim::NodeId r : tree.access_routers) install(r);
+
+  util::Rng place(seed + 1);
+  const auto attacker_slots =
+      place.choose(leaves, static_cast<std::size_t>(n_attackers));
+  std::set<std::size_t> attacker_set(attacker_slots.begin(),
+                                     attacker_slots.end());
+  std::vector<std::size_t> client_slots;
+  for (std::size_t i = 0; i < leaves && client_slots.size() <
+                                            static_cast<std::size_t>(n_clients);
+       ++i) {
+    if (!attacker_set.contains(i)) client_slots.push_back(i);
+  }
+
+  auto& victim = static_cast<net::Host&>(network.node(tree.servers[0]));
+  sim::Packet last;
+  victim.set_receiver([&](const sim::Packet& p) { last = p; });
+  auto probe = [&](std::size_t leaf) {
+    sim::Packet p;
+    p.dst = tree.server_addrs[0];
+    p.size_bytes = 100;
+    static_cast<net::Host&>(network.node(tree.leaf_hosts[leaf]))
+        .send(std::move(p));
+    simulator.run_until(simulator.now() + sim::SimTime::seconds(1));
+    return last;
+  };
+
+  // Learning phase: honeypot windows label attack packets exactly.
+  marking::PiVictim filter;
+  for (const std::size_t a : attacker_slots) filter.learn_attack(probe(a));
+
+  // Evaluation.
+  Accuracy acc;
+  acc.marks = filter.marks_learned();
+  int fp = 0;
+  for (const std::size_t c : client_slots) {
+    if (filter.drop(probe(c))) ++fp;
+  }
+  acc.false_positive_rate = static_cast<double>(fp) / n_clients;
+  int fn = 0;
+  for (const std::size_t a : attacker_slots) {
+    if (!filter.drop(probe(a))) ++fn;
+  }
+  acc.false_negative_rate = static_cast<double>(fn) / n_attackers;
+  return acc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hbp;
+  util::Flags flags(argc, argv);
+  const auto leaves = static_cast<std::size_t>(flags.get_int("leaves", 400));
+  const int clients = static_cast<int>(flags.get_int("clients", 100));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));
+  flags.finish();
+
+  util::print_banner("Baseline — StackPi mark filtering accuracy vs number "
+                     "of dispersed attackers (16-bit stack, 2 bits/hop)");
+
+  util::Table table({"Attackers", "Marks blacklisted", "False positives",
+                     "False negatives", "HBP equivalent"});
+  for (const int n : {5, 15, 30, 60, 120}) {
+    const Accuracy acc = run(n, clients, leaves, seed);
+    table.add_row(
+        {util::Table::num(static_cast<long long>(n)),
+         util::Table::num(static_cast<long long>(acc.marks)),
+         util::Table::percent(acc.false_positive_rate),
+         util::Table::percent(acc.false_negative_rate),
+         "0% FP (switch-port capture)"});
+  }
+  table.print();
+
+  std::printf("\nStackPi filters on a 16-bit path fingerprint: clients that "
+              "share a router\npath suffix with any attacker are collateral, "
+              "and the blacklisted fraction\nof mark space grows with "
+              "attacker count — Section 2's accuracy criticism.\nHoneypot "
+              "back-propagation blocks physical switch ports instead: "
+              "collisions\nare impossible and false positives stay at zero "
+              "(see tests/scenario).\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared helpers for the figure-regeneration benches.
+#pragma once
+
+#include <cstdio>
+
+#include "scenario/tree_experiment.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hbp::bench {
+
+// The Fig. 9 simulation defaults (see DESIGN.md for the OCR parameter
+// reconstruction).  Bench binaries start from these and apply flags.
+inline scenario::TreeExperimentConfig default_tree_config() {
+  scenario::TreeExperimentConfig config;
+  config.tree.leaf_count = 300;
+  config.n_clients = 75;
+  config.n_attackers = 25;
+  config.attacker_rate_bps = 1.0e6;
+  return config;
+}
+
+// Applies the shared sweep flags: --leaves, --seeds, --seed.
+struct CommonFlags {
+  int seeds = 3;
+  std::uint64_t base_seed = 1;
+};
+
+inline CommonFlags apply_common_flags(util::Flags& flags,
+                                      scenario::TreeExperimentConfig& config) {
+  config.tree.leaf_count =
+      static_cast<std::size_t>(flags.get_int("leaves",
+                                             static_cast<std::int64_t>(
+                                                 config.tree.leaf_count)));
+  CommonFlags out;
+  out.seeds = static_cast<int>(flags.get_int("seeds", out.seeds));
+  out.base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  return out;
+}
+
+}  // namespace hbp::bench

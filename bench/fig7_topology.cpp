@@ -1,0 +1,78 @@
+// Reproduces Fig. 7: hop-count and node-degree distributions of the
+// simulated tree topology.  Prints the target distributions alongside the
+// histograms measured on an actually-built tree.
+#include <cstdio>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "topo/tree.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hbp;
+  util::Flags flags(argc, argv);
+  const auto leaves = static_cast<std::size_t>(flags.get_int("leaves", 1000));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  flags.finish();
+
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  topo::TreeParams params;
+  params.leaf_count = leaves;
+  util::Rng rng(seed);
+  const topo::Tree tree = topo::build_tree(network, rng, params);
+
+  // --- hop counts ---
+  util::IntCounter hops;
+  for (const int h : tree.leaf_hopcount) hops.add(h);
+
+  const auto hop_dist = topo::fig7_hop_count_distribution();
+  util::print_banner("Fig. 7 (left) — hop count distribution");
+  util::Table hop_table({"Hop Count", "Target freq", "Built freq", "Bar"});
+  for (std::size_t i = 0; i < hop_dist.values().size(); ++i) {
+    const auto v = hop_dist.values()[i];
+    const double measured = hops.frequency(v);
+    std::string bar(static_cast<std::size_t>(measured * 200), '#');
+    hop_table.add_row({util::Table::num(static_cast<long long>(v)),
+                       util::Table::num(hop_dist.probability(i), 3),
+                       util::Table::num(measured, 3), bar});
+  }
+  hop_table.print();
+  std::printf("mean hop count: target %.2f, built %.2f\n", hop_dist.mean(),
+              hops.mean());
+
+  // --- node degrees of interior routers ---
+  util::IntCounter degrees;
+  for (const sim::NodeId r : tree.interior_routers) {
+    degrees.add(static_cast<std::int64_t>(network.node(r).port_count()));
+  }
+  util::print_banner("Fig. 7 (right) — interior router degree distribution");
+  util::Table deg_table({"Node Degree", "Built freq", "Bar"});
+  for (const auto& [degree, count] : degrees.counts()) {
+    const double f =
+        static_cast<double>(count) / static_cast<double>(degrees.total());
+    std::string bar(static_cast<std::size_t>(f * 200), '#');
+    deg_table.add_row({util::Table::num(static_cast<long long>(degree)),
+                       util::Table::num(f, 3), bar});
+  }
+  deg_table.print();
+  std::printf("mean interior degree: %.2f over %llu routers\n",
+              degrees.mean(),
+              static_cast<unsigned long long>(degrees.total()));
+
+  // --- summary of the built network ---
+  util::print_banner("built topology summary");
+  std::printf("leaf hosts: %zu   access routers: %zu   interior routers: %zu\n"
+              "switches: %zu   autonomous systems: %zu   total nodes: %zu\n",
+              tree.leaf_hosts.size(), tree.access_routers.size(),
+              tree.interior_routers.size(), tree.switches.size(),
+              tree.as_map.count(), network.node_count());
+  int transit = 0, stub = 0;
+  for (std::size_t a = 0; a < tree.as_map.count(); ++a) {
+    (tree.as_map.info(static_cast<net::AsId>(a)).transit ? transit : stub) += 1;
+  }
+  std::printf("transit ASs: %d   stub ASs: %d\n", transit, stub);
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Micro-benchmarks (google-benchmark) of the substrate hot paths: event
+// queue, SHA-256 / HMAC / hash-chain generation, router forwarding, and the
+// max-min allocator.  These bound the simulator's throughput (events/s).
+#include <benchmark/benchmark.h>
+
+#include "honeypot/hash_chain.hpp"
+#include "net/host.hpp"
+#include "net/network.hpp"
+#include "net/router.hpp"
+#include "pushback/maxmin.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/sha256.hpp"
+
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  hbp::util::Rng rng(1);
+  for (auto _ : state) {
+    hbp::sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(hbp::sim::SimTime(static_cast<std::int64_t>(rng.below(1'000'000))),
+             [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorEventChain(benchmark::State& state) {
+  for (auto _ : state) {
+    hbp::sim::Simulator simulator;
+    std::int64_t count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10000) {
+        simulator.after(hbp::sim::SimTime::micros(10), tick);
+      }
+    };
+    simulator.after(hbp::sim::SimTime::micros(10), tick);
+    simulator.run_all();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SimulatorEventChain);
+
+void BM_Sha256(benchmark::State& state) {
+  const std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hbp::util::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSign(benchmark::State& state) {
+  const auto key = hbp::util::Sha256::hash("key");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hbp::util::hmac_sha256(key, "hbp-request;dst=42;epoch=7;"));
+  }
+}
+BENCHMARK(BM_HmacSign);
+
+void BM_HashChainGeneration(benchmark::State& state) {
+  const auto tail = hbp::util::Sha256::hash("tail");
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    hbp::honeypot::HashChain chain(tail, n);
+    benchmark::DoNotOptimize(chain.key(1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HashChainGeneration)->Arg(1024)->Arg(8192);
+
+void BM_RouterForwarding(benchmark::State& state) {
+  hbp::sim::Simulator simulator;
+  hbp::net::Network network(simulator);
+  auto& a = network.add_node<hbp::net::Host>("a");
+  auto& r = network.add_node<hbp::net::Router>("r");
+  auto& b = network.add_node<hbp::net::Host>("b");
+  hbp::net::LinkParams link;
+  link.capacity_bps = 1e12;  // serialization negligible
+  link.delay = hbp::sim::SimTime::micros(1);
+  link.queue_bytes = 1'000'000'000;
+  network.connect(a.id(), r.id(), link);
+  network.connect(r.id(), b.id(), link);
+  a.set_address(network.assign_address(a.id()));
+  b.set_address(network.assign_address(b.id()));
+  network.compute_routes();
+
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      hbp::sim::Packet p;
+      p.dst = b.address();
+      p.size_bytes = 1000;
+      a.send(std::move(p));
+    }
+    simulator.run_until(simulator.now() + hbp::sim::SimTime::seconds(1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_RouterForwarding);
+
+void BM_MaxMinAllocate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  hbp::util::Rng rng(2);
+  std::vector<double> demands(n);
+  for (auto& d : demands) d = rng.uniform(0.0, 10.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hbp::pushback::maxmin_allocate(demands, 0.3 * 10.0 * n));
+  }
+}
+BENCHMARK(BM_MaxMinAllocate)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Incremental deployment (Section 5.3): what an ISP gains by deploying an
+// HSM, and how the scheme bridges non-deploying gaps by piggybacking on
+// routing announcements.
+//
+//   ./build/examples/partial_deployment [--fraction=0.5]
+#include <cstdio>
+
+#include "scenario/tree_experiment.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  hbp::util::Flags flags(argc, argv);
+  const double fraction = flags.get_double("fraction", 0.5);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2));
+  flags.finish();
+
+  hbp::scenario::TreeExperimentConfig config;
+  config.scheme = hbp::scenario::Scheme::kHbp;
+  config.tree.leaf_count = 300;
+  config.n_clients = 75;
+  config.n_attackers = 25;
+
+  std::printf("Spoofing DDoS against a roaming server pool; honeypot "
+              "back-propagation\ndeployed in a fraction of the autonomous "
+              "systems.\n\n");
+
+  hbp::util::Table table({"Deployment", "Attackers captured",
+                          "Client throughput under attack", "False captures"});
+  for (const double f : {1.0, fraction}) {
+    config.hbp_deploy_fraction = f;
+    const auto r = hbp::scenario::run_tree_experiment(config, seed);
+    table.add_row(
+        {hbp::util::Table::percent(f, 0) + " of ASs",
+         hbp::util::Table::num(static_cast<long long>(r.captured)) + "/" +
+             hbp::util::Table::num(static_cast<long long>(r.attackers)),
+         hbp::util::Table::percent(r.mean_client_throughput),
+         hbp::util::Table::num(static_cast<long long>(r.false_captures))});
+  }
+  table.print();
+
+  std::printf(
+      "\nDeployment gaps are bridged by broadcasting honeypot requests over\n"
+      "routing announcements until a deploying AS resumes normal propagation\n"
+      "(Section 5.3).  Captures degrade gracefully with coverage, and the\n"
+      "scheme never cuts off an innocent host regardless of deployment --\n"
+      "the attack signature (traffic to a honeypot) stays exact.\n");
+  return 0;
+}

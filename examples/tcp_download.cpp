@@ -1,0 +1,62 @@
+// The Section 3 damage model on real TCP flows: bulk downloads from
+// servers behind the bottleneck to clients in the tree.  The spoofing
+// attack congests the client->server direction, so the downloads' ACKs die
+// — "if TCP ACK packets from clients to servers get dropped due to the
+// attack, the throughput of TCP flows is degraded" — even though the data
+// direction has spare capacity.
+//
+//   ./build/examples/tcp_download [--downloads=3] [--attackers=25]
+#include <cstdio>
+
+#include "scenario/tree_experiment.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  hbp::util::Flags flags(argc, argv);
+  const auto downloads = static_cast<int>(flags.get_int("downloads", 3));
+  const auto attackers = static_cast<int>(flags.get_int("attackers", 25));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 4));
+  flags.finish();
+
+  hbp::scenario::TreeExperimentConfig config;
+  config.tree.leaf_count = 300;
+  config.n_clients = 75;
+  config.n_attackers = attackers;
+  config.tcp_downloads = downloads;
+  // Long pre-attack phase so the flows are in steady state (RTT across the
+  // tree is ~300 ms; slow start needs a few seconds).
+  config.sim_seconds = 150.0;
+  config.attack_start = 30.0;
+  config.attack_end = 140.0;
+
+  std::printf("%d bulk TCP downloads (server -> client) sharing the "
+              "bottleneck's reverse\ndirection with the roaming pool; %d "
+              "spoofing attackers flood the forward\ndirection from t=%.0f s "
+              "to t=%.0f s.\n\n",
+              downloads, attackers, config.attack_start, config.attack_end);
+
+  hbp::util::Table table({"Defense", "TCP goodput before attack",
+                          "TCP goodput during attack", "Retained"});
+  for (const auto scheme :
+       {hbp::scenario::Scheme::kNoDefense, hbp::scenario::Scheme::kPushback,
+        hbp::scenario::Scheme::kHbp}) {
+    config.scheme = scheme;
+    const auto r = hbp::scenario::run_tree_experiment(config, seed);
+    table.add_row(
+        {hbp::scenario::to_string(scheme),
+         hbp::util::Table::num(r.tcp_goodput_before / 1e6, 2) + " Mb/s",
+         hbp::util::Table::num(r.tcp_goodput_during / 1e6, 2) + " Mb/s",
+         hbp::util::Table::percent(
+             r.tcp_goodput_before > 0
+                 ? r.tcp_goodput_during / r.tcp_goodput_before
+                 : 0.0)});
+  }
+  table.print();
+
+  std::printf("\nThe downloads' data direction is never congested — the "
+              "collapse comes\nentirely from ACK loss on the attacked "
+              "direction, and honeypot\nback-propagation restores it by "
+              "cutting the attackers off.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "analysis/capture_time.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hbp::analysis {
+
+namespace {
+void check(const Params& params) {
+  HBP_ASSERT(params.m > 0 && params.p > 0 && params.p <= 1);
+  HBP_ASSERT(params.r > 0 && params.tau >= 0 && params.h >= 1);
+}
+}  // namespace
+
+double hop_time(const Params& params) { return 1.0 / params.r + params.tau; }
+
+Estimate basic_continuous(const Params& params) {
+  check(params);
+  // Eq. (3): every honeypot epoch overlaps the attack for the full m
+  // seconds; the basic scheme succeeds in one epoch iff m covers all h
+  // hops.  Expected failures before the first success: (1-p)/p epochs.
+  Estimate e;
+  e.seconds = params.m * (1.0 / params.p - 1.0);
+  e.valid = params.m >= params.h * hop_time(params);
+  return e;
+}
+
+Estimate progressive_continuous(const Params& params) {
+  check(params);
+  // Eq. (4): each honeypot epoch advances m / (1/r + τ) hops; trials are m
+  // seconds apart and succeed with probability p.
+  Estimate e;
+  const double hops_per_success = params.m / hop_time(params);
+  e.seconds = (params.m / params.p) * params.h / hops_per_success;
+  e.valid = params.m >= hop_time(params);
+  return e;
+}
+
+OnOffCase classify_onoff(double m, double t_on, double t_off) {
+  HBP_ASSERT(m > 0 && t_on > 0 && t_off >= 0);
+  if (m <= t_on / 2.0) return OnOffCase::kCase1;
+  if (m <= t_on + t_off) return OnOffCase::kCase2;
+  return OnOffCase::kCase3;
+}
+
+Estimate basic_onoff(const Params& params, double t_on, double t_off) {
+  check(params);
+  Estimate e;
+  const double period = t_on + t_off;
+  const double needed = params.h * hop_time(params);
+  switch (classify_onoff(params.m, t_on, t_off)) {
+    case OnOffCase::kCase1: {
+      // Eq. (5): trials are on-bursts; the expected attack-honeypot
+      // overlap per burst is p(t_on - m).
+      e.seconds = (1.0 / params.p - 1.0) * period;
+      e.valid = params.p * (t_on - params.m) >= needed;
+      break;
+    }
+    case OnOffCase::kCase2: {
+      // Eq. (7, basic): each burst meets one epoch for at least t_on/2.
+      e.seconds = (1.0 / params.p - 1.0) * period;
+      e.valid = t_on / 2.0 >= needed;
+      break;
+    }
+    case OnOffCase::kCase3: {
+      // Eq. (10): each epoch overlaps bursts for T_m = t_on * floor(m/period).
+      const double t_m = t_on * std::floor(params.m / period);
+      e.seconds = params.m * (1.0 / params.p - 1.0);
+      e.valid = t_m >= needed;
+      break;
+    }
+  }
+  return e;
+}
+
+Estimate progressive_onoff(const Params& params, double t_on, double t_off) {
+  check(params);
+  Estimate e;
+  const double period = t_on + t_off;
+  const double ht = hop_time(params);
+  switch (classify_onoff(params.m, t_on, t_off)) {
+    case OnOffCase::kCase1: {
+      // Eq. (6): average overlap per burst p(t_on - m); hops per burst
+      // p(t_on - m)/(1/r + τ); trials every t_on + t_off seconds.
+      const double overlap = params.p * (t_on - params.m);
+      e.seconds = period * params.h / (overlap / ht);
+      e.valid = overlap >= ht;
+      break;
+    }
+    case OnOffCase::kCase2: {
+      // Eq. (7, progressive): overlap per successful burst >= t_on / 2.
+      const double hops_per_success = (t_on / 2.0) / ht;
+      e.seconds = (period / params.p) * params.h / hops_per_success;
+      e.valid = t_on / 2.0 >= ht;
+      break;
+    }
+    case OnOffCase::kCase3: {
+      // Eq. (11): overlap per honeypot epoch T_m = t_on * floor(m/period).
+      const double t_m = t_on * std::floor(params.m / period);
+      const double hops_per_success = t_m / ht;
+      e.seconds = (params.m / params.p) * params.h / hops_per_success;
+      e.valid = t_m >= ht;
+      break;
+    }
+  }
+  return e;
+}
+
+double best_attack_t_on(const Params& params) {
+  // Eq. (8): shrink the burst until one success advances exactly one hop.
+  return 2.0 * hop_time(params);
+}
+
+double progressive_onoff_special(const Params& params, double t_off) {
+  check(params);
+  // Eq. (9): with t_on = 2(1/r + τ), hops_per_success == 1.
+  return params.h * (best_attack_t_on(params) + t_off) / params.p;
+}
+
+Estimate progressive_follower(const Params& params, double d_follow) {
+  check(params);
+  HBP_ASSERT(d_follow >= 0);
+  // Follower expression: overlap per honeypot epoch is d_follow, so each
+  // success advances max(1, d_follow/(1/r + τ)) hops.
+  Estimate e;
+  const double hops_per_success =
+      std::max(1.0, d_follow / hop_time(params));
+  e.seconds = (params.m / params.p) * params.h / hops_per_success;
+  e.valid = d_follow >= hop_time(params);
+  return e;
+}
+
+}  // namespace hbp::analysis

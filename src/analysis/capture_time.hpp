@@ -1,0 +1,56 @@
+// Closed-form capture-time model (Section 7, Eqs. (1)-(11) plus the
+// follower-attack expression).
+//
+// Honeypot epochs are Bernoulli trials with success probability p (the
+// server is a honeypot).  Each success overlaps the attack stream for some
+// time; sessions advance one hop per (1/r + τ) seconds of overlap — 1/r to
+// receive an attack packet at rate r packets/s and τ to propagate one hop.
+// The basic scheme must cover all h hops within a single overlap; the
+// progressive scheme accumulates hops across epochs via the
+// intermediate-AS list.
+#pragma once
+
+namespace hbp::analysis {
+
+struct Params {
+  double m = 10.0;    // epoch length (s)
+  double p = 0.4;     // honeypot probability
+  double r = 10.0;    // attack rate (packets/s)
+  double tau = 1.0;   // one-hop session propagation time (s)
+  int h = 10;         // attacker distance in back-propagation hops
+};
+
+// 1/r + τ: time to advance the session tree by one hop.
+double hop_time(const Params& params);
+
+// A capture-time prediction with its validity condition.
+struct Estimate {
+  double seconds = 0.0;
+  bool valid = false;  // the equation's side condition holds
+};
+
+// --- continuous attack (Section 7.2) ---
+Estimate basic_continuous(const Params& params);        // Eq. (3)
+Estimate progressive_continuous(const Params& params);  // Eq. (4)
+
+// --- on-off attack (Section 7.3) ---
+enum class OnOffCase {
+  kCase1,  // m <= t_on / 2           (bursts span multiple epochs)
+  kCase2,  // t_on/2 < m <= t_on+t_off (each burst meets exactly one epoch)
+  kCase3,  // m > t_on + t_off         (each epoch spans multiple bursts)
+};
+OnOffCase classify_onoff(double m, double t_on, double t_off);
+
+Estimate basic_onoff(const Params& params, double t_on, double t_off);
+Estimate progressive_onoff(const Params& params, double t_on, double t_off);
+
+// Eq. (8)/(9): the attacker-optimal burst length t_on = 2(1/r + τ), where
+// each success advances exactly one hop and E[CT] = h (t_on + t_off) / p.
+double best_attack_t_on(const Params& params);
+double progressive_onoff_special(const Params& params, double t_off);  // Eq. (9)
+
+// --- follower attack (Section 7.3) ---
+// The attacker stops d_follow seconds after each honeypot epoch begins.
+Estimate progressive_follower(const Params& params, double d_follow);
+
+}  // namespace hbp::analysis

@@ -1,0 +1,140 @@
+// Orchestrator of honeypot back-propagation (Section 5): wires the roaming
+// server pool's honeypot windows to the HSM tree, owns per-server
+// progressive state (Section 6), transports and authenticates inter-AS
+// messages, bridges deployment gaps (Section 5.3), and records captures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "core/hsm.hpp"
+#include "core/messages.hpp"
+#include "core/progressive.hpp"
+#include "honeypot/server_pool.hpp"
+#include "net/control_plane.hpp"
+#include "net/network.hpp"
+#include "topo/as_map.hpp"
+
+namespace hbp::core {
+
+struct HbpParams {
+  enum class IngressMode { kMarking, kTunneling };
+  IngressMode ingress_mode = IngressMode::kMarking;
+
+  // Honeypot packets within a window before a request is sent (false-
+  // positive tolerance, Section 5.3).
+  std::uint64_t activation_threshold = 1;
+
+  bool progressive = true;
+  int rho = 5;                         // rule-2 threshold (Section 6)
+  sim::SimTime tau_estimate = sim::SimTime::millis(500);  // direct-send lead
+  sim::SimTime report_grace = sim::SimTime::seconds(1.5); // reports settle
+
+  bool authenticate = true;
+  DeploymentPolicy deployment;
+  util::Digest master_secret{};  // key-store master
+};
+
+struct CaptureEvent {
+  sim::NodeId host = sim::kInvalidNode;
+  sim::Address dst = 0;  // the honeypot whose session caught it
+  sim::SimTime when = sim::SimTime::zero();
+};
+
+class HbpDefense {
+ public:
+  HbpDefense(sim::Simulator& simulator, net::Network& network,
+             net::ControlPlane& control, honeypot::ServerPool& pool,
+             const topo::AsMap& as_map, const HbpParams& params);
+  ~HbpDefense();
+
+  // Creates HSMs for deploying ASs and registers server-pool listeners.
+  void start();
+
+  using CaptureFn = std::function<void(const CaptureEvent&)>;
+  void add_capture_listener(CaptureFn fn) { capture_listeners_.push_back(std::move(fn)); }
+
+  // --- accessors used by HSMs ---
+  const HbpParams& params() const { return params_; }
+  sim::Simulator& simulator() { return simulator_; }
+  net::Network& network() { return network_; }
+  net::ControlPlane& control() { return control_; }
+  const topo::AsMap& as_map() const { return as_map_; }
+  Hsm* hsm(net::AsId as);
+
+  // Inter-AS propagation with gap bridging: delivers a request (or cancel)
+  // from AS `from` to AS `to`; if `to` does not deploy, the message is
+  // broadcast via routing options to the nearest deploying ASs upstream.
+  void propagate_request(net::AsId from, net::AsId to, sim::Address dst,
+                         std::size_t epoch, const SessionWindow& window,
+                         int extra_hops = 0);
+  void propagate_cancel(net::AsId from, net::AsId to, sim::Address dst,
+                        std::size_t epoch, int extra_hops = 0);
+
+  // Progressive report from a stalled transit AS back to the server.
+  void report_to_server(net::AsId from, sim::Address dst, std::size_t epoch);
+
+  // A switch port (or router port) was closed on `host`.
+  void on_capture(sim::NodeId host, sim::Address dst);
+
+  // Raw entry points with MAC verification (tests inject forged messages).
+  void deliver_request(const HoneypotRequest& m);
+  void deliver_cancel(const HoneypotCancel& m);
+  void deliver_report(const IntermediateReport& m);
+
+  // --- statistics ---
+  const std::vector<CaptureEvent>& captures() const { return captures_; }
+  std::uint64_t activations() const { return activations_; }
+  std::uint64_t false_activations() const { return false_activations_; }
+  std::uint64_t forged_rejected() const { return forged_rejected_; }
+  std::uint64_t bridged_messages() const { return bridged_; }
+  const ProgressiveManager& progressive(int server) const {
+    return *progressive_[static_cast<std::size_t>(server)];
+  }
+
+ private:
+  struct ServerWindow {
+    std::size_t epoch = 0;
+    bool open = false;
+    bool activated = false;
+    std::uint64_t hits = 0;
+    std::uint64_t attack_hits = 0;
+  };
+
+  void on_window_start(int server, std::size_t epoch);
+  void on_window_end(int server, std::size_t epoch);
+  void on_honeypot_hit(int server, const sim::Packet& p);
+  void activate(int server);
+  void schedule_direct_requests(int server);
+  net::AsId home_as(int server) const;
+  std::size_t next_honeypot_epoch(int server, std::size_t after) const;
+
+  sim::Simulator& simulator_;
+  net::Network& network_;
+  net::ControlPlane& control_;
+  honeypot::ServerPool& pool_;
+  const topo::AsMap& as_map_;
+  HbpParams params_;
+  KeyStore keys_;
+
+  std::map<net::AsId, std::unique_ptr<Hsm>> hsms_;
+  std::vector<ServerWindow> windows_;                    // per server
+  std::vector<std::unique_ptr<ProgressiveManager>> progressive_;  // per server
+  // ASs sent a request for the current/upcoming window, per server/epoch.
+  std::vector<std::map<std::size_t, std::set<net::AsId>>> requested_;
+
+  std::vector<CaptureFn> capture_listeners_;
+  std::vector<CaptureEvent> captures_;
+  std::set<sim::NodeId> captured_hosts_;
+  std::uint64_t activations_ = 0;
+  std::uint64_t false_activations_ = 0;
+  std::uint64_t forged_rejected_ = 0;
+  std::uint64_t bridged_ = 0;
+};
+
+}  // namespace hbp::core

@@ -1,0 +1,60 @@
+// Incremental-deployment policy (Section 5.3): which ASs run an HSM.
+//
+// With partial deployment, request/cancel messages bridge gaps between
+// deploying ASs by piggybacking on routing announcements ("broadcast ...
+// over routing announcements to all upstream ASs ... until they reach a
+// deploying AS, from which point normal propagation is resumed").
+#pragma once
+
+#include <set>
+
+#include "net/node.hpp"
+#include "util/rng.hpp"
+
+namespace hbp::core {
+
+class DeploymentPolicy {
+ public:
+  // Full deployment.
+  DeploymentPolicy() = default;
+
+  // Partial deployment: each AS deploys independently with probability
+  // `fraction`; the listed ASs always deploy (the victim's home AS must).
+  static DeploymentPolicy random_fraction(double fraction, std::size_t as_count,
+                                          util::Rng& rng,
+                                          std::set<net::AsId> always_deploy);
+
+  // Explicit set.
+  static DeploymentPolicy explicit_set(std::set<net::AsId> deploying);
+
+  bool deploys(net::AsId as) const {
+    return full_ || deploying_.contains(as);
+  }
+  bool full() const { return full_; }
+
+ private:
+  bool full_ = true;
+  std::set<net::AsId> deploying_;
+};
+
+inline DeploymentPolicy DeploymentPolicy::random_fraction(
+    double fraction, std::size_t as_count, util::Rng& rng,
+    std::set<net::AsId> always_deploy) {
+  DeploymentPolicy p;
+  p.full_ = false;
+  p.deploying_ = std::move(always_deploy);
+  for (std::size_t as = 0; as < as_count; ++as) {
+    if (rng.bernoulli(fraction)) p.deploying_.insert(static_cast<net::AsId>(as));
+  }
+  return p;
+}
+
+inline DeploymentPolicy DeploymentPolicy::explicit_set(
+    std::set<net::AsId> deploying) {
+  DeploymentPolicy p;
+  p.full_ = false;
+  p.deploying_ = std::move(deploying);
+  return p;
+}
+
+}  // namespace hbp::core

@@ -1,0 +1,107 @@
+// Honeypot back-propagation control messages (Section 5).
+//
+// Inter-AS honeypot request/cancel messages and the progressive scheme's
+// intermediate-AS reports are "encrypted and authenticated using shared
+// keys between ASs, in a similar way to securing BGP sessions"
+// (Section 5.3).  We authenticate with HMAC-SHA256 over a canonical
+// serialization under a per-AS-pair key; forged messages (the DoS-on-the-
+// defense vector) are rejected and counted.
+//
+// Intra-AS hop-by-hop messages use the TTL-255 trick of ACC/Pushback
+// (routers only accept from one hop away); in the simulator that property
+// is modelled by delivering local messages only between direct neighbors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "net/node.hpp"
+#include "sim/packet.hpp"
+#include "sim/time.hpp"
+#include "util/sha256.hpp"
+
+namespace hbp::core {
+
+enum class MessageType : std::uint8_t {
+  kHoneypotRequest,
+  kHoneypotCancel,
+  kIntermediateReport,
+};
+
+// The honeypot observation window: traffic to the honeypot address is a
+// valid attack signature only inside [start, end].  Sessions may be set up
+// before the window opens (progressive direct requests arrive t_A + τ
+// early) and cancelled after it closes (control latency), so every
+// data-driven action — diversion, ingress identification, input debugging,
+// switch-port harvesting — is gated on this window.
+struct SessionWindow {
+  sim::SimTime start = sim::SimTime::zero();
+  sim::SimTime end = sim::SimTime::zero();
+
+  bool contains(sim::SimTime t) const { return t >= start && t <= end; }
+};
+
+struct HoneypotRequest {
+  sim::Address dst = 0;          // the honeypot's address (attack signature)
+  std::size_t epoch = 0;
+  SessionWindow window;
+  net::AsId from_as = net::kNoAs;
+  net::AsId to_as = net::kNoAs;
+  bool progressive_direct = false;  // sent directly by the server (Section 6)
+  util::Digest mac{};
+};
+
+struct HoneypotCancel {
+  sim::Address dst = 0;
+  std::size_t epoch = 0;
+  net::AsId from_as = net::kNoAs;
+  net::AsId to_as = net::kNoAs;
+  bool from_server = false;  // sent by the victim server, not a peer HSM
+  util::Digest mac{};
+};
+
+// Progressive scheme: "the HSM of A sends its identity A and a time stamp
+// to S, which in turn calculates t_A, A's time distance in seconds from S."
+struct IntermediateReport {
+  net::AsId as = net::kNoAs;
+  sim::Address dst = 0;          // which honeypot's session stalled
+  std::size_t epoch = 0;
+  sim::SimTime stamped_at = sim::SimTime::zero();
+  util::Digest mac{};
+};
+
+// Canonical serializations covered by the MAC.
+std::string serialize(const HoneypotRequest& m);
+std::string serialize(const HoneypotCancel& m);
+std::string serialize(const IntermediateReport& m);
+
+// Per-AS-pair shared keys derived from a deployment master secret.
+class KeyStore {
+ public:
+  explicit KeyStore(const util::Digest& master) : master_(master) {}
+
+  // Symmetric: key(a, b) == key(b, a).
+  util::Digest pair_key(net::AsId a, net::AsId b) const;
+
+  // Key between an AS and the protected server pool (for reports/directs).
+  util::Digest server_key(net::AsId a) const;
+
+  template <typename Message>
+  void sign(Message& m, const util::Digest& key) const {
+    m.mac = {};
+    m.mac = util::hmac_sha256(key, serialize(m));
+  }
+
+  template <typename Message>
+  bool verify(const Message& m, const util::Digest& key) const {
+    Message copy = m;
+    copy.mac = {};
+    return util::digest_equal(util::hmac_sha256(key, serialize(copy)), m.mac);
+  }
+
+ private:
+  util::Digest master_;
+};
+
+}  // namespace hbp::core

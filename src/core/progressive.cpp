@@ -1,0 +1,48 @@
+#include "core/progressive.hpp"
+
+#include "util/assert.hpp"
+
+namespace hbp::core {
+
+void ProgressiveManager::on_report(net::AsId as, sim::SimTime stamped_at,
+                                   sim::SimTime now) {
+  HBP_ASSERT(now >= stamped_at);
+  ++reports_;
+  auto [it, created] = entries_.try_emplace(as);
+  Entry& e = it->second;
+  e.as = as;
+  e.t_a_seconds = (now - stamped_at).to_seconds();
+  e.reported_this_round = true;
+  if (created) {
+    e.consecutive_reports = 1;
+  } else {
+    ++e.consecutive_reports;
+  }
+}
+
+std::vector<ProgressiveManager::Entry> ProgressiveManager::end_round() {
+  std::vector<Entry> out;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& e = it->second;
+    if (!e.reported_this_round) {
+      // Rule 1: no report this epoch — either propagation moved upstream of
+      // this AS or the report was lost; restart discovery from scratch for
+      // this branch either way.
+      ++rule1_;
+      it = entries_.erase(it);
+      continue;
+    }
+    if (e.consecutive_reports >= rho_) {
+      // Rule 2: ρ consecutive reports without progress.
+      ++rule2_;
+      it = entries_.erase(it);
+      continue;
+    }
+    e.reported_this_round = false;
+    out.push_back(e);
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace hbp::core

@@ -1,0 +1,61 @@
+// Server-side intermediate-AS list of progressive honeypot back-propagation
+// (Section 6).
+//
+// When back-propagation stalls at a transit AS A (no upstream request was
+// sent during the epoch), A reports its identity and a timestamp; the
+// server stores t_A (A's one-way time distance) and, t_A + τ before the
+// next honeypot epoch, sends a request directly to A so propagation resumes
+// where it stopped.  Two pruning rules bound the list:
+//   1. drop A if it did not report again in the following honeypot epoch
+//      (propagation moved past it, or the report was lost);
+//   2. drop A after ρ consecutive reports (no progress is being made
+//      through it).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/node.hpp"
+#include "sim/time.hpp"
+
+namespace hbp::core {
+
+class ProgressiveManager {
+ public:
+  explicit ProgressiveManager(int rho) : rho_(rho) {}
+
+  struct Entry {
+    net::AsId as = net::kNoAs;
+    double t_a_seconds = 0.0;  // one-way distance from the server
+    int consecutive_reports = 0;
+    bool reported_this_round = false;
+  };
+
+  // A report from AS `as` stamped at `stamped_at` arrived at `now`.
+  void on_report(net::AsId as, sim::SimTime stamped_at, sim::SimTime now);
+
+  // Applies rule 1 (drop silent entries) at the end of a reporting round
+  // (i.e. once all reports from the previous honeypot epoch are in) and
+  // clears the per-round flags.  Returns the surviving entries to which
+  // direct requests should be scheduled for the next honeypot epoch.
+  std::vector<Entry> end_round();
+
+  std::size_t size() const { return entries_.size(); }
+  bool contains(net::AsId as) const { return entries_.contains(as); }
+  int rho() const { return rho_; }
+
+  std::uint64_t reports_received() const { return reports_; }
+  std::uint64_t rule1_removals() const { return rule1_; }
+  std::uint64_t rule2_removals() const { return rule2_; }
+
+ private:
+  int rho_;
+  std::map<net::AsId, Entry> entries_;
+  bool first_round_done_ = false;
+  std::uint64_t reports_ = 0;
+  std::uint64_t rule1_ = 0;
+  std::uint64_t rule2_ = 0;
+};
+
+}  // namespace hbp::core

@@ -1,0 +1,15 @@
+#include "honeypot/blacklist.hpp"
+
+namespace hbp::honeypot {
+
+bool Blacklist::observed_at_honeypot(sim::Address src) {
+  if (listed_.contains(src)) return true;
+  if (handshaken_.contains(src)) {
+    listed_.insert(src);
+    return true;
+  }
+  ++rejected_unverified_;
+  return false;
+}
+
+}  // namespace hbp::honeypot

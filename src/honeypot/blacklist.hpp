@@ -1,0 +1,38 @@
+// Source blacklist of the roaming-honeypots scheme (Section 4): "The source
+// address of any request that hits a honeypot is blacklisted ... The source
+// address is not blacklisted unless a full handshake is recorded to ensure
+// that it is not spoofed."
+//
+// Against the paper's spoofing attack the blacklist is deliberately
+// ineffective (every packet carries a fresh forged source) — that gap is
+// exactly what honeypot back-propagation closes.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "sim/packet.hpp"
+
+namespace hbp::honeypot {
+
+class Blacklist {
+ public:
+  // Records a completed (3-way) handshake for the source — proof the
+  // address was reachable, i.e. not spoofed.
+  void note_handshake(sim::Address src) { handshaken_.insert(src); }
+
+  // A packet from `src` hit a honeypot; blacklists only handshake-verified
+  // sources.  Returns true if the address was (already or newly) listed.
+  bool observed_at_honeypot(sim::Address src);
+
+  bool contains(sim::Address src) const { return listed_.contains(src); }
+  std::size_t size() const { return listed_.size(); }
+  std::uint64_t rejected_unverified() const { return rejected_unverified_; }
+
+ private:
+  std::set<sim::Address> handshaken_;
+  std::set<sim::Address> listed_;
+  std::uint64_t rejected_unverified_ = 0;
+};
+
+}  // namespace hbp::honeypot

@@ -1,0 +1,19 @@
+#include "honeypot/checkpoint.hpp"
+
+namespace hbp::honeypot {
+
+void CheckpointStore::deposit(const ConnectionState& state) {
+  ++deposits_;
+  store_[state.client] = state;
+}
+
+std::optional<ConnectionState> CheckpointStore::claim(sim::Address client) {
+  const auto it = store_.find(client);
+  if (it == store_.end()) return std::nullopt;
+  ConnectionState s = it->second;
+  store_.erase(it);
+  ++resumes_;
+  return s;
+}
+
+}  // namespace hbp::honeypot

@@ -1,0 +1,46 @@
+// Connection checkpoint/migration bookkeeping (Section 4): "each active
+// server periodically checkpoints per-connection state ... clients send the
+// checkpoints to the new servers to resume their connections."
+//
+// The store stands in for the client-carried checkpoint: the old server
+// deposits state keyed by client address, the new server claims it on the
+// client's first packet.  Tests assert byte counters survive migration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "sim/packet.hpp"
+#include "sim/time.hpp"
+
+namespace hbp::honeypot {
+
+struct ConnectionState {
+  sim::Address client = 0;
+  int server_index = -1;       // server currently owning the connection
+  std::uint64_t bytes = 0;     // cumulative payload bytes from this client
+  std::uint64_t migrations = 0;
+  sim::SimTime last_update = sim::SimTime::zero();
+};
+
+class CheckpointStore {
+ public:
+  // Old server deposits the connection state at epoch switch.
+  void deposit(const ConnectionState& state);
+
+  // New server claims the state when the client shows up; returns nullopt
+  // for a brand-new connection.
+  std::optional<ConnectionState> claim(sim::Address client);
+
+  std::uint64_t deposits() const { return deposits_; }
+  std::uint64_t resumes() const { return resumes_; }
+  std::size_t pending() const { return store_.size(); }
+
+ private:
+  std::map<sim::Address, ConnectionState> store_;
+  std::uint64_t deposits_ = 0;
+  std::uint64_t resumes_ = 0;
+};
+
+}  // namespace hbp::honeypot

@@ -1,0 +1,39 @@
+// One-way hash chain driving the roaming schedule (Section 4).
+//
+// "A long hash chain is generated using a one-way hash function, and used
+// in a backward fashion.  The last key in the chain, K_n, is randomly
+// generated and each key K_i = H(K_{i+1}) is used to determine the active
+// servers during epoch i."  Holding K_t lets a client derive every key up
+// to epoch t but none after — the time-based subscription token.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/sha256.hpp"
+
+namespace hbp::honeypot {
+
+class HashChain {
+ public:
+  // Generates a chain of `length` keys from the random tail key K_n.
+  HashChain(const util::Digest& tail_key, std::size_t length);
+
+  std::size_t length() const { return keys_.size(); }
+
+  // K_i for epoch i in [1, length()].
+  const util::Digest& key(std::size_t i) const;
+
+  // Derives K_i from a later key K_j (i <= j) by hashing forward j-i times.
+  static util::Digest derive(const util::Digest& k_j, std::size_t j,
+                             std::size_t i);
+
+  // Verifies that `claimed` is K_j of the chain anchored at K_i == anchor.
+  static bool verify(const util::Digest& claimed, std::size_t j,
+                     const util::Digest& anchor, std::size_t i);
+
+ private:
+  std::vector<util::Digest> keys_;  // keys_[i-1] == K_i
+};
+
+}  // namespace hbp::honeypot

@@ -1,0 +1,38 @@
+#include "honeypot/subscription.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hbp::honeypot {
+
+ClientKey SubscriptionService::issue(std::size_t current_epoch,
+                                     int trust_level) {
+  HBP_ASSERT(current_epoch >= 1);
+  HBP_ASSERT(trust_level >= 1);
+  const std::size_t t =
+      std::min(chain_->length(),
+               current_epoch + static_cast<std::size_t>(trust_level) *
+                                   epochs_per_level_);
+  return ClientKey{chain_->key(t), t};
+}
+
+ClientKey SubscriptionService::subscribe(std::size_t current_epoch,
+                                         int trust_level) {
+  ++issued_;
+  return issue(current_epoch, trust_level);
+}
+
+ClientKey SubscriptionService::renew(std::size_t current_epoch,
+                                     int trust_level) {
+  ++issued_;
+  ++renewals_;
+  return issue(current_epoch, trust_level);
+}
+
+bool SubscriptionService::valid(const ClientKey& key) const {
+  if (key.epoch_limit < 1 || key.epoch_limit > chain_->length()) return false;
+  return HashChain::verify(key.key, key.epoch_limit, chain_->key(1), 1);
+}
+
+}  // namespace hbp::honeypot

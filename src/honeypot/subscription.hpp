@@ -1,0 +1,51 @@
+// Subscription service issuing roaming keys (Section 4): "Upon subscription
+// ... each legitimate client is assigned a roaming key K_t from the hash
+// chain, with a varying value of t according to each client's trust level.
+// K_t acts as a time-based token ... When subscription expires ... the
+// client may contact the subscription service to acquire a new key."
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "honeypot/hash_chain.hpp"
+#include "util/sha256.hpp"
+
+namespace hbp::honeypot {
+
+struct ClientKey {
+  util::Digest key{};       // K_t
+  std::size_t epoch_limit = 0;  // t: last epoch the key is valid for
+};
+
+class SubscriptionService {
+ public:
+  SubscriptionService(std::shared_ptr<const HashChain> chain,
+                      std::size_t epochs_per_trust_level)
+      : chain_(std::move(chain)),
+        epochs_per_level_(epochs_per_trust_level) {}
+
+  // Issues K_t where t = current_epoch + trust_level * epochs_per_level,
+  // clamped to the chain length.
+  ClientKey subscribe(std::size_t current_epoch, int trust_level);
+
+  // Renews an expired key starting from the current epoch.
+  ClientKey renew(std::size_t current_epoch, int trust_level);
+
+  // Validity check a server can run: the claimed key must hash forward to
+  // the chain anchor K_1.
+  bool valid(const ClientKey& key) const;
+
+  std::uint64_t keys_issued() const { return issued_; }
+  std::uint64_t renewals() const { return renewals_; }
+
+ private:
+  ClientKey issue(std::size_t current_epoch, int trust_level);
+
+  std::shared_ptr<const HashChain> chain_;
+  std::size_t epochs_per_level_;
+  std::uint64_t issued_ = 0;
+  std::uint64_t renewals_ = 0;
+};
+
+}  // namespace hbp::honeypot

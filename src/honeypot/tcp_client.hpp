@@ -1,0 +1,48 @@
+// Roaming TCP client: a bulk TCP transfer that follows the roaming
+// schedule, migrating (checkpoint + re-handshake + slow-start restart) to a
+// new active server at every epoch in which its server goes inactive —
+// the mechanism behind the roaming overhead discussed in Section 5.3:
+// "all its current legitimate connections move to another server,
+// re-establish TCP connections and re-enter TCP slow-start, losing their
+// current TCP throughput."
+#pragma once
+
+#include "honeypot/schedule.hpp"
+#include "honeypot/server_pool.hpp"
+#include "net/host.hpp"
+#include "sim/simulator.hpp"
+#include "transport/tcp.hpp"
+#include "util/rng.hpp"
+
+namespace hbp::honeypot {
+
+class RoamingTcpClient {
+ public:
+  RoamingTcpClient(sim::Simulator& simulator, net::Host& host, util::Rng& rng,
+                   const Schedule& schedule, const ServerPool& pool,
+                   sim::SimTime max_clock_skew = sim::SimTime::millis(100),
+                   const transport::TcpParams& tcp = {});
+
+  // Connects to an active server and arms the per-epoch migration check.
+  void start();
+
+  const transport::TcpSender& sender() const { return sender_; }
+  std::uint64_t migrations() const { return migrations_; }
+  int current_server() const { return current_server_; }
+
+ private:
+  void on_epoch_boundary();
+  void retarget(std::size_t epoch);
+  sim::SimTime local_time() const;
+
+  sim::Simulator& simulator_;
+  util::Rng& rng_;
+  const Schedule& schedule_;
+  const ServerPool& pool_;
+  transport::TcpSender sender_;
+  sim::SimTime skew_ = sim::SimTime::zero();
+  int current_server_ = -1;
+  std::uint64_t migrations_ = 0;
+};
+
+}  // namespace hbp::honeypot

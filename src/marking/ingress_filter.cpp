@@ -1,0 +1,25 @@
+#include "marking/ingress_filter.hpp"
+
+namespace hbp::marking {
+
+IngressFilter::IngressFilter(net::Router& router, int local_port,
+                             std::set<sim::Address> valid_sources)
+    : router_(router),
+      local_port_(local_port),
+      valid_sources_(std::move(valid_sources)) {
+  router_.add_filter(this);
+}
+
+IngressFilter::~IngressFilter() { router_.remove_filter(this); }
+
+net::FilterAction IngressFilter::on_packet(const sim::Packet& p, int in_port) {
+  if (in_port != local_port_) return net::FilterAction::kPass;
+  if (valid_sources_.contains(p.src)) {
+    ++passed_;
+    return net::FilterAction::kPass;
+  }
+  ++dropped_;
+  return net::FilterAction::kDrop;
+}
+
+}  // namespace hbp::marking

@@ -1,0 +1,43 @@
+// Ingress filtering (RFC 2827 / BCP 38) — the spoofing-*prevention*
+// baseline of Section 2: access routers drop outbound packets whose source
+// address does not belong to their attached prefix.
+//
+// The paper's two criticisms, both measurable here:
+//  - it only helps where deployed: a spoofing attacker behind a
+//    non-filtering access router is untouched, and the benefit to any one
+//    victim depends on everyone else's deployment;
+//  - it "interferes with the operation of Internet protocols, such as
+//    mobile IP, which use spoofing legitimately": a mobile node sending
+//    with its home address from a foreign network is dropped.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "net/router.hpp"
+
+namespace hbp::marking {
+
+class IngressFilter final : public net::PacketFilter {
+ public:
+  // `local_port` is the router's port facing the filtered stub network
+  // (typically the access switch); `valid_sources` are the addresses
+  // legitimately homed behind it.
+  IngressFilter(net::Router& router, int local_port,
+                std::set<sim::Address> valid_sources);
+  ~IngressFilter() override;
+
+  net::FilterAction on_packet(const sim::Packet& p, int in_port) override;
+
+  std::uint64_t spoofed_dropped() const { return dropped_; }
+  std::uint64_t passed() const { return passed_; }
+
+ private:
+  net::Router& router_;
+  int local_port_;
+  std::set<sim::Address> valid_sources_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t passed_ = 0;
+};
+
+}  // namespace hbp::marking

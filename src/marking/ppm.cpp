@@ -1,0 +1,122 @@
+#include "marking/ppm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hbp::marking {
+
+PpmMarker::PpmMarker(net::Router& router, util::Rng& rng,
+                     const PpmParams& params)
+    : router_(router), rng_(rng), params_(params) {
+  HBP_ASSERT(params.mark_probability > 0 && params.mark_probability < 1);
+  router_.add_mutator(this);
+}
+
+PpmMarker::~PpmMarker() { router_.remove_mutator(this); }
+
+void PpmMarker::mutate(sim::Packet& p, int in_port) {
+  (void)in_port;
+  if (rng_.bernoulli(params_.mark_probability)) {
+    ++marks_;
+    if (forged_space_ > 0) {
+      // Compromised router: frame a fake upstream neighbor.
+      p.edge_start = static_cast<std::int32_t>(rng_.below(
+          static_cast<std::uint64_t>(forged_space_))) + 1'000'000;
+      p.edge_end = frame_end_;
+      p.edge_distance = 0;
+      return;
+    }
+    p.edge_start = router_.id();
+    p.edge_end = sim::kNoMark;
+    p.edge_distance = 0;
+    return;
+  }
+  if (p.edge_start != sim::kNoMark) {
+    if (p.edge_distance == 0 && p.edge_end == sim::kNoMark &&
+        forged_space_ == 0) {
+      p.edge_end = router_.id();
+    }
+    ++p.edge_distance;
+  }
+}
+
+void PpmCollector::collect(const sim::Packet& p) {
+  ++packets_;
+  if (p.edge_start == sim::kNoMark) return;
+  ++marked_;
+  edges_.insert(Edge{p.edge_start, p.edge_end, p.edge_distance});
+}
+
+std::vector<std::vector<std::int32_t>> PpmCollector::reconstruct_paths() const {
+  // Edges at distance 1 start paths at the router adjacent to the victim
+  // (its own mark travelled one hop: distance incremented by the next
+  // router... in this topology the final mark reaches the victim with the
+  // distance it accumulated; the closest router's fresh mark arrives with
+  // distance 0).  Chain outward: an edge (s2, e2, d+1) extends a path
+  // ending at router r when e2 == r.
+  std::map<std::int32_t, std::vector<Edge>> by_distance;
+  std::int32_t max_distance = 0;
+  for (const Edge& e : edges_) {
+    by_distance[e.distance].push_back(e);
+    max_distance = std::max(max_distance, e.distance);
+  }
+
+  std::vector<std::vector<std::int32_t>> paths;
+  // Seeds: distance-0 edges (marked by the last router before the victim).
+  for (const Edge& seed : by_distance[0]) {
+    paths.push_back({seed.start});
+  }
+  // Extend each path by matching edges at increasing distance: the edge at
+  // distance d has end == the path's last (farthest known) router and
+  // start == the next router outward.
+  for (std::int32_t d = 1; d <= max_distance; ++d) {
+    std::vector<std::vector<std::int32_t>> extended;
+    for (const auto& path : paths) {
+      bool grew = false;
+      for (const Edge& e : by_distance[d]) {
+        if (e.end == path.back()) {
+          auto longer = path;
+          longer.push_back(e.start);
+          extended.push_back(std::move(longer));
+          grew = true;
+        }
+      }
+      if (!grew) extended.push_back(path);
+    }
+    paths = std::move(extended);
+  }
+  return paths;
+}
+
+bool PpmCollector::path_found(const std::vector<std::int32_t>& path) const {
+  for (const auto& candidate : reconstruct_paths()) {
+    if (candidate == path) return true;
+  }
+  return false;
+}
+
+std::size_t PpmCollector::false_paths(
+    const std::set<std::int32_t>& real_routers) const {
+  std::size_t count = 0;
+  for (const auto& path : reconstruct_paths()) {
+    for (const std::int32_t id : path) {
+      if (!real_routers.contains(id)) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+double expected_packets_for_path(double mark_probability, int distance) {
+  HBP_ASSERT(distance >= 1);
+  // E[packets] < ln(d) / (q (1-q)^{d-1})  (Savage et al., Section 4.2).
+  const double q = mark_probability;
+  return std::log(std::max(2.0, static_cast<double>(distance))) /
+         (q * std::pow(1.0 - q, distance - 1));
+}
+
+}  // namespace hbp::marking

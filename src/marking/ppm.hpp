@@ -1,0 +1,105 @@
+// Probabilistic packet marking (PPM) traceback — the packet-marking
+// baseline the paper's Section 2 contrasts hop-by-hop traceback with
+// (Savage, Wetherall, Karlin, Anderson, "Practical network support for IP
+// traceback", SIGCOMM 2000; edge-sampling variant).
+//
+// Every PPM router marks each forwarded packet with probability q: it
+// writes its id into `edge_start` and zeroes `edge_distance`.  A router
+// that does not mark but sees distance == 0 completes the edge by writing
+// `edge_end`; every non-marking router increments the distance.  The
+// victim reconstructs the attack path from collected edges ordered by
+// distance.
+//
+// The paper's two criticisms, both measurable here:
+//  - packet cost: the victim needs many packets per path, E ~ ln(d)/(q(1-q)^{d-1}),
+//    which grows badly for distant or low-rate attackers (Section 2);
+//  - compromised routers: a subverted router can inject forged markings
+//    and poison the reconstruction with false paths — unlike honeypot
+//    back-propagation, where a lying edge router just stalls (Section 5.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/router.hpp"
+#include "util/rng.hpp"
+
+namespace hbp::marking {
+
+struct PpmParams {
+  double mark_probability = 0.04;  // Savage et al.'s recommended ~1/25
+};
+
+// The per-router marking engine; install one on every PPM router.
+class PpmMarker final : public net::PacketMutator {
+ public:
+  PpmMarker(net::Router& router, util::Rng& rng, const PpmParams& params);
+  ~PpmMarker() override;
+
+  void mutate(sim::Packet& p, int in_port) override;
+
+  // Compromise hook: the router stops marking honestly and forges edges
+  // (random fake upstream router -> `frame_end`) with distance 0.  Honest
+  // downstream routers still increment the distance, so the forgeries land
+  // at this router's own distance — and by framing its real downstream
+  // neighbor as the edge end they chain seamlessly onto the genuine path,
+  // spawning false branches in the victim's reconstruction.
+  void compromise(std::int32_t forged_id_space, std::int32_t frame_end) {
+    forged_space_ = forged_id_space;
+    frame_end_ = frame_end;
+  }
+
+  std::uint64_t marks_written() const { return marks_; }
+
+ private:
+  net::Router& router_;
+  util::Rng& rng_;
+  PpmParams params_;
+  std::int32_t forged_space_ = 0;  // 0 = honest
+  std::int32_t frame_end_ = sim::kNoMark;
+  std::uint64_t marks_ = 0;
+};
+
+// Victim-side collector and path reconstructor.
+class PpmCollector {
+ public:
+  // Feed every packet the victim receives.
+  void collect(const sim::Packet& p);
+
+  // Edges seen so far, keyed by distance.
+  struct Edge {
+    std::int32_t start;
+    std::int32_t end;  // kNoMark for the edge nearest the victim
+    std::int32_t distance;
+    auto operator<=>(const Edge&) const = default;
+  };
+
+  std::uint64_t packets_seen() const { return packets_; }
+  std::uint64_t marked_packets() const { return marked_; }
+  const std::set<Edge>& edges() const { return edges_; }
+
+  // Reconstructs all maximal paths from the victim outward by chaining
+  // edges whose distances are consecutive and whose endpoints agree.
+  // Returns router-id sequences ordered victim-side first.
+  std::vector<std::vector<std::int32_t>> reconstruct_paths() const;
+
+  // True if the exact router-id path (victim-side first) was reconstructed.
+  bool path_found(const std::vector<std::int32_t>& path) const;
+
+  // Paths containing ids outside the legitimate router-id set.
+  std::size_t false_paths(const std::set<std::int32_t>& real_routers) const;
+
+ private:
+  std::set<Edge> edges_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t marked_ = 0;
+};
+
+// Expected number of packets for full-path reconstruction at distance d
+// (the classic coupon-collector style bound from Savage et al.).
+double expected_packets_for_path(double mark_probability, int distance);
+
+}  // namespace hbp::marking

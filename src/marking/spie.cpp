@@ -1,0 +1,82 @@
+#include "marking/spie.hpp"
+
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace hbp::marking {
+
+SpieAgent::SpieAgent(net::Router& router, const SpieParams& params)
+    : router_(router), params_(params) {
+  HBP_ASSERT(params.window > sim::SimTime::zero());
+  HBP_ASSERT(params.windows_retained >= 1);
+  router_.add_tap(this);
+}
+
+SpieAgent::~SpieAgent() { router_.remove_tap(this); }
+
+util::BloomFilter& SpieAgent::window_for(std::int64_t index) {
+  if (!windows_.empty() && windows_.back().first == index) {
+    return windows_.back().second;
+  }
+  windows_.emplace_back(index,
+                        util::BloomFilter(params_.bits_per_window,
+                                          params_.hashes));
+  while (windows_.size() > static_cast<std::size_t>(params_.windows_retained)) {
+    windows_.pop_front();
+  }
+  return windows_.back().second;
+}
+
+void SpieAgent::on_forward(const sim::Packet& p, int in_port, int out_port) {
+  (void)in_port;
+  (void)out_port;
+  const std::int64_t index =
+      router_.network().simulator().now().nanos() / params_.window.nanos();
+  ++recorded_;
+  window_for(index).insert(digest(p));
+}
+
+bool SpieAgent::saw(std::uint64_t digest, sim::SimTime when) const {
+  const std::int64_t index = when.nanos() / params_.window.nanos();
+  for (const auto& [idx, filter] : windows_) {
+    if (idx >= index - 1 && idx <= index + 1 &&
+        filter.maybe_contains(digest)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t SpieAgent::storage_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [idx, filter] : windows_) total += filter.byte_size();
+  return total;
+}
+
+std::vector<sim::NodeId> SpieTracer::trace(sim::NodeId start,
+                                           std::uint64_t digest,
+                                           sim::SimTime when) const {
+  std::vector<sim::NodeId> implicated;
+  std::set<sim::NodeId> visited;
+  std::vector<sim::NodeId> frontier{start};
+  visited.insert(start);
+  while (!frontier.empty()) {
+    const sim::NodeId node = frontier.back();
+    frontier.pop_back();
+    const auto it = agents_.find(node);
+    if (it == agents_.end() || !it->second->saw(digest, when)) continue;
+    implicated.push_back(node);
+    const net::Node& n = network_.node(node);
+    for (std::size_t port = 0; port < n.port_count(); ++port) {
+      const sim::NodeId neighbor = n.neighbor(port);
+      if (visited.contains(neighbor)) continue;
+      if (network_.node(neighbor).kind() != net::NodeKind::kRouter) continue;
+      visited.insert(neighbor);
+      frontier.push_back(neighbor);
+    }
+  }
+  return implicated;
+}
+
+}  // namespace hbp::marking

@@ -1,0 +1,81 @@
+// SPIE-style hash-based single-packet traceback (Snoeren et al., SIGCOMM
+// 2001) — the Section 2 "exception" among hop-by-hop schemes: "the
+// single-packet traceback scheme, which can use a single attack packet as
+// the signature.  However, it requires high storage overhead at routers or
+// high bandwidth overhead."
+//
+// Every SPIE router inserts a digest of each forwarded packet into a
+// time-windowed Bloom filter (the Digest Generation Agent).  Given one
+// attack packet, the tracer walks the router graph asking "did you see
+// this digest around time t?"; Bloom false positives implicate innocent
+// branches, and the digest tables are the storage bill the paper objects
+// to.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/router.hpp"
+#include "util/bloom.hpp"
+
+namespace hbp::marking {
+
+struct SpieParams {
+  sim::SimTime window = sim::SimTime::seconds(10);
+  int windows_retained = 6;          // history available for queries
+  std::size_t bits_per_window = 1u << 16;
+  int hashes = 3;
+};
+
+class SpieAgent final : public net::ForwardTap {
+ public:
+  SpieAgent(net::Router& router, const SpieParams& params);
+  ~SpieAgent() override;
+
+  void on_forward(const sim::Packet& p, int in_port, int out_port) override;
+
+  // Did this router (maybe) forward the digest in the window covering
+  // `when` (or an adjacent one, to absorb boundary effects)?
+  bool saw(std::uint64_t digest, sim::SimTime when) const;
+
+  // Memory the digest tables occupy right now.
+  std::size_t storage_bytes() const;
+  std::uint64_t packets_recorded() const { return recorded_; }
+
+  // The digest of a packet's invariant content.
+  static std::uint64_t digest(const sim::Packet& p) {
+    return util::mix64(p.uid * 0x9e3779b97f4a7c15ULL + 0x1234);
+  }
+
+ private:
+  util::BloomFilter& window_for(std::int64_t index);
+
+  net::Router& router_;
+  SpieParams params_;
+  // (window index, filter), newest at the back.
+  std::deque<std::pair<std::int64_t, util::BloomFilter>> windows_;
+  std::uint64_t recorded_ = 0;
+};
+
+// Victim-side tracer: explores the router graph from the victim's access
+// router along agents that (maybe) saw the digest.
+class SpieTracer {
+ public:
+  SpieTracer(net::Network& network,
+             std::map<sim::NodeId, SpieAgent*> agents)
+      : network_(network), agents_(std::move(agents)) {}
+
+  // All routers implicated for the packet (connected region around
+  // `start`); on a tree this is the true path plus any false branches.
+  std::vector<sim::NodeId> trace(sim::NodeId start, std::uint64_t digest,
+                                 sim::SimTime when) const;
+
+ private:
+  net::Network& network_;
+  std::map<sim::NodeId, SpieAgent*> agents_;
+};
+
+}  // namespace hbp::marking

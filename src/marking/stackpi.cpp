@@ -1,0 +1,38 @@
+#include "marking/stackpi.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+#include "util/sha256.hpp"
+
+namespace hbp::marking {
+
+PiMarker::PiMarker(net::Router& router, const StackPiParams& params)
+    : router_(router), params_(params) {
+  HBP_ASSERT(params.bits_per_hop >= 1 && params.bits_per_hop <= 8);
+  // Deterministic per-router digest bits derived from the router id.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "pi-router-%d", router.id());
+  const auto digest = util::Sha256::hash(buf);
+  digest_ = static_cast<std::uint16_t>(digest[0] &
+                                       ((1u << params.bits_per_hop) - 1u));
+  router_.add_mutator(this);
+}
+
+PiMarker::~PiMarker() { router_.remove_mutator(this); }
+
+void PiMarker::mutate(sim::Packet& p, int in_port) {
+  (void)in_port;
+  // Push our bits into the 16-bit stack carried in the mark field.  The
+  // field is initialised by the first marking router; anything the sender
+  // pre-loaded is shifted out after 16/b hops (StackPi's defense against
+  // mark spoofing by attackers close to nobody).
+  std::uint16_t stack =
+      p.mark >= 0 ? static_cast<std::uint16_t>(p.mark) : 0;
+  stack = static_cast<std::uint16_t>(
+      (stack << params_.bits_per_hop) |
+      digest_);
+  p.mark = stack;
+}
+
+}  // namespace hbp::marking

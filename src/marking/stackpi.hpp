@@ -1,0 +1,63 @@
+// StackPi-style deterministic path marking and victim-side filtering — the
+// second marking baseline of Section 2 ("StackPi is a deterministic packet
+// marking scheme that allows the victim to locally filter attack packets
+// based on the mark field.  However, the scheme's accuracy ... deteriorates
+// with a large number of dispersed attackers").
+//
+// Each router deterministically pushes b bits derived from its id into a
+// 16-bit mark "stack"; packets from the same path carry the same final
+// mark (a path fingerprint).  The victim learns the marks of known-attack
+// packets (here: packets that hit honeypots — the accurate signature the
+// roaming pool supplies) and drops matching marks.  False positives arise
+// when a legitimate client shares a path suffix — and therefore a mark —
+// with an attacker; with many dispersed attackers, marked space saturates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "net/router.hpp"
+
+namespace hbp::marking {
+
+struct StackPiParams {
+  int bits_per_hop = 2;  // StackPi's n-bit scheme (IP ID: 16-bit stack)
+};
+
+// Per-router deterministic marker.
+class PiMarker final : public net::PacketMutator {
+ public:
+  PiMarker(net::Router& router, const StackPiParams& params);
+  ~PiMarker() override;
+
+  void mutate(sim::Packet& p, int in_port) override;
+
+ private:
+  net::Router& router_;
+  StackPiParams params_;
+  std::uint16_t digest_;  // the bits this router pushes
+};
+
+// Victim-side filter state: learns attack marks, evaluates traffic.
+class PiVictim {
+ public:
+  // Observe a packet that is *known* attack traffic (hit a honeypot).
+  void learn_attack(const sim::Packet& p) { attack_marks_.insert(mark_of(p)); }
+
+  // Would the filter drop this packet?
+  bool drop(const sim::Packet& p) const {
+    return attack_marks_.contains(mark_of(p));
+  }
+
+  std::size_t marks_learned() const { return attack_marks_.size(); }
+
+  static std::uint16_t mark_of(const sim::Packet& p) {
+    return static_cast<std::uint16_t>(p.mark >= 0 ? p.mark : 0);
+  }
+
+ private:
+  std::set<std::uint16_t> attack_marks_;
+};
+
+}  // namespace hbp::marking

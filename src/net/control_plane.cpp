@@ -1,0 +1,33 @@
+#include "net/control_plane.hpp"
+
+#include "util/assert.hpp"
+
+namespace hbp::net {
+
+sim::SimTime ControlPlane::sample_latency(int hops) {
+  HBP_ASSERT(hops >= 0);
+  const double base = params_.per_hop_latency.to_seconds() * hops;
+  const double jitter = params_.jitter_fraction > 0.0
+                            ? rng_.uniform(-params_.jitter_fraction,
+                                           params_.jitter_fraction) * base
+                            : 0.0;
+  return sim::SimTime::seconds(base + jitter);
+}
+
+void ControlPlane::send(const std::string& kind, int hops,
+                        std::function<void()> deliver) {
+  ++sent_[kind];
+  ++total_;
+  if (params_.loss_probability > 0.0 && rng_.bernoulli(params_.loss_probability)) {
+    ++lost_;
+    return;
+  }
+  simulator_.after(sample_latency(hops), std::move(deliver));
+}
+
+std::uint64_t ControlPlane::messages_sent(const std::string& kind) const {
+  const auto it = sent_.find(kind);
+  return it == sent_.end() ? 0 : it->second;
+}
+
+}  // namespace hbp::net

@@ -1,0 +1,24 @@
+#include "net/host.hpp"
+
+#include "net/network.hpp"
+#include "util/assert.hpp"
+
+namespace hbp::net {
+
+void Host::receive(sim::Packet&& p, int in_port) {
+  (void)in_port;
+  if (p.dst != address_) return;  // mis-delivered; hosts are not routers
+  ++received_;
+  bytes_received_ += p.size_bytes;
+  if (receiver_) receiver_(p);
+}
+
+void Host::send(sim::Packet&& p) {
+  HBP_ASSERT_MSG(port_count() == 1, "hosts have exactly one access port");
+  p.uid = network().next_packet_uid();
+  p.origin_node = id();
+  p.sent_at = network().simulator().now();
+  network().transmit(id(), 0, std::move(p));
+}
+
+}  // namespace hbp::net

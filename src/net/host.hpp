@@ -1,0 +1,38 @@
+// End host: owns one address, attaches one application, and sends through
+// its single access port.
+#pragma once
+
+#include <functional>
+
+#include "net/node.hpp"
+#include "sim/packet.hpp"
+
+namespace hbp::net {
+
+class Host final : public Node {
+ public:
+  using ReceiveFn = std::function<void(const sim::Packet&)>;
+
+  explicit Host(std::string name) : Node(std::move(name), NodeKind::kHost) {}
+
+  sim::Address address() const { return address_; }
+  void set_address(sim::Address a) { address_ = a; }
+
+  void set_receiver(ReceiveFn fn) { receiver_ = std::move(fn); }
+
+  void receive(sim::Packet&& p, int in_port) override;
+
+  // Fills in origin ground truth and uid, then transmits via port 0.
+  void send(sim::Packet&& p);
+
+  std::uint64_t packets_received() const { return received_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  sim::Address address_ = 0;
+  ReceiveFn receiver_;
+  std::uint64_t received_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace hbp::net

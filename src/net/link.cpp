@@ -1,0 +1,51 @@
+#include "net/link.hpp"
+
+#include "net/network.hpp"
+#include "util/assert.hpp"
+
+namespace hbp::net {
+
+Link::Link(sim::Simulator& simulator, Network& network, sim::NodeId to_node,
+           int to_port, const LinkParams& params)
+    : simulator_(simulator),
+      network_(network),
+      to_node_(to_node),
+      to_port_(to_port),
+      capacity_bps_(params.capacity_bps),
+      delay_(params.delay) {
+  HBP_ASSERT(params.capacity_bps > 0);
+  if (params.queue_factory) {
+    queue_ = params.queue_factory();
+  } else {
+    queue_ = std::make_unique<DropTailQueue>(params.queue_bytes);
+  }
+}
+
+void Link::send(sim::Packet&& p) {
+  if (!queue_->enqueue(std::move(p))) {
+    return;  // dropped; counted by the queue
+  }
+  if (!transmitting_) start_transmission();
+}
+
+void Link::start_transmission() {
+  auto next = queue_->dequeue();
+  if (!next) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  const sim::SimTime tx = sim::transmission_time(next->size_bytes, capacity_bps_);
+  // Delivery after serialization + propagation; the transmitter frees up
+  // after serialization only.
+  sim::Packet delivered_packet = std::move(*next);
+  simulator_.after(tx + delay_,
+                   [this, p = std::move(delivered_packet)]() mutable {
+                     ++delivered_;
+                     bytes_delivered_ += p.size_bytes;
+                     network_.deliver(to_node_, std::move(p), to_port_);
+                   });
+  simulator_.after(tx, [this] { start_transmission(); });
+}
+
+}  // namespace hbp::net

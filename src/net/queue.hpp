@@ -1,0 +1,104 @@
+// Output-queue disciplines for links: drop-tail and RED.
+//
+// Pushback's ACC detects congestion from the drop history of the output
+// queue, so queues expose drop counters and an optional drop observer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "sim/packet.hpp"
+
+namespace hbp::net {
+
+// Called with every packet the queue drops (overflow or RED early drop).
+using DropObserver = std::function<void(const sim::Packet&)>;
+
+class PacketQueue {
+ public:
+  virtual ~PacketQueue() = default;
+
+  // Returns false (and counts a drop) if the packet was not accepted.
+  virtual bool enqueue(sim::Packet&& p) = 0;
+  virtual std::optional<sim::Packet> dequeue() = 0;
+
+  virtual std::int64_t byte_length() const = 0;
+  virtual std::size_t packet_length() const = 0;
+
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t accepted() const { return accepted_; }
+
+  void set_drop_observer(DropObserver obs) { drop_observer_ = std::move(obs); }
+
+ protected:
+  void count_drop(const sim::Packet& p) {
+    ++drops_;
+    if (drop_observer_) drop_observer_(p);
+  }
+  void count_accept() { ++accepted_; }
+
+ private:
+  std::uint64_t drops_ = 0;
+  std::uint64_t accepted_ = 0;
+  DropObserver drop_observer_;
+};
+
+// FIFO queue with a byte-capacity bound.
+class DropTailQueue final : public PacketQueue {
+ public:
+  explicit DropTailQueue(std::int64_t capacity_bytes);
+
+  bool enqueue(sim::Packet&& p) override;
+  std::optional<sim::Packet> dequeue() override;
+  std::int64_t byte_length() const override { return bytes_; }
+  std::size_t packet_length() const override { return q_.size(); }
+
+ private:
+  std::int64_t capacity_bytes_;
+  std::int64_t bytes_ = 0;
+  std::deque<sim::Packet> q_;
+};
+
+// Random Early Detection (Floyd & Jacobson 1993), byte mode, with an
+// exponentially-weighted average queue size.  Drop probability ramps from 0
+// at min_th to max_p at max_th; above max_th everything is dropped.
+class RedQueue final : public PacketQueue {
+ public:
+  struct Params {
+    std::int64_t capacity_bytes = 64'000;
+    double min_th_bytes = 16'000;
+    double max_th_bytes = 48'000;
+    double max_p = 0.1;
+    double weight = 0.002;      // EWMA weight
+    std::uint64_t seed = 1;     // deterministic drop decisions
+  };
+
+  explicit RedQueue(const Params& params);
+
+  bool enqueue(sim::Packet&& p) override;
+  std::optional<sim::Packet> dequeue() override;
+  std::int64_t byte_length() const override { return bytes_; }
+  std::size_t packet_length() const override { return q_.size(); }
+
+  double average_bytes() const { return avg_; }
+
+ private:
+  double drop_probability() const;
+
+  Params params_;
+  std::int64_t bytes_ = 0;
+  double avg_ = 0.0;
+  std::uint64_t count_since_drop_ = 0;
+  std::uint64_t rng_state_;
+  std::deque<sim::Packet> q_;
+};
+
+using QueueFactory = std::function<std::unique_ptr<PacketQueue>()>;
+
+// Default factory: drop-tail with the given byte capacity.
+QueueFactory droptail_factory(std::int64_t capacity_bytes);
+
+}  // namespace hbp::net

@@ -1,0 +1,70 @@
+// IP-like router with extension points used by the defense schemes:
+//
+//  - PacketFilter chain: consulted before forwarding.  Pushback rate
+//    limiters, HBP divert rules, and blacklists are filters.
+//  - ForwardTap observers: see every forwarded packet with its input and
+//    output port.  Input debugging (mapping a packet at the output queue to
+//    its input port, Section 2/5.2) is a tap.
+//
+// Filters and taps are non-owning observers whose lifetime is managed by
+// the defense agents that install them; agents must out-live the run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/node.hpp"
+#include "sim/packet.hpp"
+
+namespace hbp::net {
+
+enum class FilterAction : std::uint8_t {
+  kPass,    // continue down the chain / forward normally
+  kDrop,    // discard the packet (counted as a filter drop)
+  kConsume, // the filter took ownership (e.g. diverted to an HSM)
+};
+
+class PacketFilter {
+ public:
+  virtual ~PacketFilter() = default;
+  virtual FilterAction on_packet(const sim::Packet& p, int in_port) = 0;
+};
+
+// Mutators rewrite header fields in flight (e.g. probabilistic packet
+// marking stamps edge fragments into the ID field).  They run before the
+// filter chain.
+class PacketMutator {
+ public:
+  virtual ~PacketMutator() = default;
+  virtual void mutate(sim::Packet& p, int in_port) = 0;
+};
+
+class ForwardTap {
+ public:
+  virtual ~ForwardTap() = default;
+  virtual void on_forward(const sim::Packet& p, int in_port, int out_port) = 0;
+};
+
+class Router final : public Node {
+ public:
+  explicit Router(std::string name) : Node(std::move(name), NodeKind::kRouter) {}
+
+  void receive(sim::Packet&& p, int in_port) override;
+
+  void add_filter(PacketFilter* filter) { filters_.push_back(filter); }
+  void remove_filter(PacketFilter* filter);
+  void add_tap(ForwardTap* tap) { taps_.push_back(tap); }
+  void remove_tap(ForwardTap* tap);
+  void add_mutator(PacketMutator* mutator) { mutators_.push_back(mutator); }
+  void remove_mutator(PacketMutator* mutator);
+
+  std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  std::vector<PacketFilter*> filters_;
+  std::vector<ForwardTap*> taps_;
+  std::vector<PacketMutator*> mutators_;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace hbp::net

@@ -1,0 +1,61 @@
+#include "pushback/maxmin.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hbp::pushback {
+
+std::vector<double> maxmin_allocate_weighted(std::span<const double> demands,
+                                             std::span<const double> weights,
+                                             double limit) {
+  HBP_ASSERT(demands.size() == weights.size());
+  HBP_ASSERT(limit >= 0.0);
+  const std::size_t n = demands.size();
+  std::vector<double> alloc(n, 0.0);
+  if (n == 0) return alloc;
+
+  std::vector<bool> frozen(n, false);
+  double remaining = limit;
+  double active_weight = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    HBP_ASSERT(demands[i] >= 0.0);
+    HBP_ASSERT(weights[i] > 0.0);
+    active_weight += weights[i];
+  }
+
+  // Water-filling: repeatedly grant each unfrozen demand its weighted fair
+  // share; demands below the share are satisfied and freeze, releasing
+  // capacity for the rest.  Terminates in at most n rounds.
+  for (;;) {
+    if (remaining <= 0.0 || active_weight <= 0.0) break;
+    bool any_frozen = false;
+    const double per_weight = remaining / active_weight;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      if (demands[i] <= per_weight * weights[i]) {
+        alloc[i] = demands[i];
+        remaining -= demands[i];
+        active_weight -= weights[i];
+        frozen[i] = true;
+        any_frozen = true;
+      }
+    }
+    if (!any_frozen) {
+      // Everyone left is capped at the fair share.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!frozen[i]) alloc[i] = per_weight * weights[i];
+      }
+      break;
+    }
+  }
+  return alloc;
+}
+
+std::vector<double> maxmin_allocate(std::span<const double> demands,
+                                    double limit) {
+  const std::vector<double> weights(demands.size(), 1.0);
+  return maxmin_allocate_weighted(demands, weights, limit);
+}
+
+}  // namespace hbp::pushback

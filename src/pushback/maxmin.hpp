@@ -1,0 +1,26 @@
+// Max-min fair allocation (water-filling).
+//
+// Pushback shares an aggregate's rate limit among contributing input ports
+// "in a max-min fairness fashion" (Section 2): ports demanding less than
+// the fair share keep their demand; the remainder is split equally among
+// the rest, iteratively.  The weighted form implements the Level-k
+// max-min-fairness extension, where a port's share scales with the number
+// of end hosts behind it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace hbp::pushback {
+
+// Returns allocations a_i with a_i <= demands_i and sum(a_i) <= limit,
+// max-min fair.  If sum(demands) <= limit every demand is fully granted.
+std::vector<double> maxmin_allocate(std::span<const double> demands,
+                                    double limit);
+
+// Weighted max-min: fair shares are proportional to weights_i (> 0).
+std::vector<double> maxmin_allocate_weighted(std::span<const double> demands,
+                                             std::span<const double> weights,
+                                             double limit);
+
+}  // namespace hbp::pushback

@@ -1,0 +1,36 @@
+#include "pushback/token_bucket.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hbp::pushback {
+
+TokenBucket::TokenBucket(double rate_bps, double burst_bytes, sim::SimTime now)
+    : rate_bps_(rate_bps),
+      burst_bytes_(burst_bytes),
+      tokens_bytes_(burst_bytes),
+      last_(now) {
+  HBP_ASSERT(rate_bps >= 0.0);
+  HBP_ASSERT(burst_bytes > 0.0);
+}
+
+void TokenBucket::refill(sim::SimTime now) {
+  if (now <= last_) return;
+  const double elapsed = (now - last_).to_seconds();
+  tokens_bytes_ = std::min(burst_bytes_, tokens_bytes_ + elapsed * rate_bps_ / 8.0);
+  last_ = now;
+}
+
+bool TokenBucket::allow(sim::SimTime now, std::int64_t bytes) {
+  refill(now);
+  if (tokens_bytes_ >= static_cast<double>(bytes)) {
+    tokens_bytes_ -= static_cast<double>(bytes);
+    ++passed_;
+    return true;
+  }
+  ++dropped_;
+  return false;
+}
+
+}  // namespace hbp::pushback

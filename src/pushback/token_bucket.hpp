@@ -1,0 +1,34 @@
+// Token-bucket rate limiter enforcing an aggregate's pushback limit.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace hbp::pushback {
+
+class TokenBucket {
+ public:
+  TokenBucket(double rate_bps, double burst_bytes, sim::SimTime now);
+
+  // Consumes tokens for `bytes` if available; returns false (drop) if not.
+  bool allow(sim::SimTime now, std::int64_t bytes);
+
+  void set_rate(double rate_bps) { rate_bps_ = rate_bps; }
+  double rate_bps() const { return rate_bps_; }
+
+  std::uint64_t passed() const { return passed_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  void refill(sim::SimTime now);
+
+  double rate_bps_;
+  double burst_bytes_;
+  double tokens_bytes_;
+  sim::SimTime last_;
+  std::uint64_t passed_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace hbp::pushback

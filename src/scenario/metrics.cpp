@@ -1,0 +1,95 @@
+#include "scenario/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hbp::scenario {
+
+ThroughputMeter::ThroughputMeter(sim::Simulator& simulator,
+                                 double reference_bps, sim::SimTime bin)
+    : simulator_(simulator), reference_bps_(reference_bps), bin_(bin) {
+  HBP_ASSERT(reference_bps > 0);
+  HBP_ASSERT(bin > sim::SimTime::zero());
+}
+
+void ThroughputMeter::on_delivery(int server, const sim::Packet& p) {
+  (void)server;
+  if (p.is_attack) return;
+  if (p.type != sim::PacketType::kData && p.type != sim::PacketType::kRequest) {
+    return;
+  }
+  const auto bin =
+      static_cast<std::size_t>(simulator_.now().nanos() / bin_.nanos());
+  if (bytes_per_bin_.size() <= bin) bytes_per_bin_.resize(bin + 1, 0);
+  bytes_per_bin_[bin] += static_cast<std::uint64_t>(p.size_bytes);
+  total_bytes_ += static_cast<std::uint64_t>(p.size_bytes);
+}
+
+std::vector<ThroughputMeter::Point> ThroughputMeter::timeline(
+    double until_seconds) const {
+  std::vector<Point> out;
+  const double bin_s = bin_.to_seconds();
+  const auto bins = static_cast<std::size_t>(until_seconds / bin_s);
+  out.reserve(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double bytes =
+        b < bytes_per_bin_.size() ? static_cast<double>(bytes_per_bin_[b]) : 0.0;
+    out.push_back(Point{static_cast<double>(b) * bin_s,
+                        bytes * 8.0 / bin_s / reference_bps_});
+  }
+  return out;
+}
+
+double ThroughputMeter::mean_fraction(double t0, double t1) const {
+  HBP_ASSERT(t1 > t0);
+  const double bin_s = bin_.to_seconds();
+  const auto b0 = static_cast<std::size_t>(t0 / bin_s);
+  const auto b1 = static_cast<std::size_t>(t1 / bin_s);
+  double bytes = 0.0;
+  for (std::size_t b = b0; b < b1; ++b) {
+    if (b < bytes_per_bin_.size()) bytes += static_cast<double>(bytes_per_bin_[b]);
+  }
+  return bytes * 8.0 / (t1 - t0) / reference_bps_;
+}
+
+void CaptureRecorder::on_capture(const core::CaptureEvent& e) {
+  events_.push_back(e);
+  if (attackers_.contains(e.host)) {
+    ++captured_attackers_;
+  } else {
+    ++false_captures_;
+  }
+}
+
+double CaptureRecorder::capture_fraction() const {
+  if (attackers_.empty()) return 0.0;
+  return static_cast<double>(captured_attackers_) /
+         static_cast<double>(attackers_.size());
+}
+
+std::vector<double> CaptureRecorder::capture_delays(
+    double attack_start_seconds) const {
+  std::vector<double> out;
+  for (const auto& e : events_) {
+    if (!attackers_.contains(e.host)) continue;
+    out.push_back(e.when.to_seconds() - attack_start_seconds);
+  }
+  return out;
+}
+
+double CaptureRecorder::mean_capture_delay(double attack_start_seconds) const {
+  const auto delays = capture_delays(attack_start_seconds);
+  if (delays.empty()) return -1.0;
+  double s = 0.0;
+  for (double d : delays) s += d;
+  return s / static_cast<double>(delays.size());
+}
+
+double CaptureRecorder::max_capture_delay(double attack_start_seconds) const {
+  const auto delays = capture_delays(attack_start_seconds);
+  if (delays.empty()) return -1.0;
+  return *std::max_element(delays.begin(), delays.end());
+}
+
+}  // namespace hbp::scenario

@@ -1,0 +1,74 @@
+// Experiment metrics: the client-throughput timeline of Fig. 8 and the
+// capture bookkeeping behind Figs. 6/10/11.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/defense.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace hbp::scenario {
+
+// Bins legitimate goodput delivered at the servers into fixed intervals and
+// reports it as a fraction of a reference capacity (the bottleneck link) —
+// exactly the y-axis of Figs. 8/10/11.
+class ThroughputMeter {
+ public:
+  ThroughputMeter(sim::Simulator& simulator, double reference_bps,
+                  sim::SimTime bin = sim::SimTime::seconds(1));
+
+  // Wire as a ServerPool delivery listener.
+  void on_delivery(int server, const sim::Packet& p);
+
+  struct Point {
+    double t_seconds;
+    double fraction;  // of the reference capacity
+  };
+  std::vector<Point> timeline(double until_seconds) const;
+
+  // Mean fraction over [t0, t1).
+  double mean_fraction(double t0, double t1) const;
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  sim::Simulator& simulator_;
+  double reference_bps_;
+  sim::SimTime bin_;
+  std::vector<std::uint64_t> bytes_per_bin_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+// Scores capture events against the ground-truth attacker set.
+class CaptureRecorder {
+ public:
+  void set_attackers(std::set<sim::NodeId> attackers) {
+    attackers_ = std::move(attackers);
+  }
+
+  // Wire as an HbpDefense capture listener.
+  void on_capture(const core::CaptureEvent& e);
+
+  std::size_t attackers_total() const { return attackers_.size(); }
+  std::size_t attackers_captured() const { return captured_attackers_; }
+  std::size_t false_captures() const { return false_captures_; }
+  double capture_fraction() const;
+
+  // Capture delays measured from `attack_start`; empty if none captured.
+  std::vector<double> capture_delays(double attack_start_seconds) const;
+  double mean_capture_delay(double attack_start_seconds) const;
+  double max_capture_delay(double attack_start_seconds) const;
+
+  const std::vector<core::CaptureEvent>& events() const { return events_; }
+
+ private:
+  std::set<sim::NodeId> attackers_;
+  std::vector<core::CaptureEvent> events_;
+  std::size_t captured_attackers_ = 0;
+  std::size_t false_captures_ = 0;
+};
+
+}  // namespace hbp::scenario

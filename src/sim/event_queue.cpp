@@ -1,0 +1,59 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hbp::sim {
+
+namespace {
+struct EntryGreater {
+  template <typename E>
+  bool operator()(const E& a, const E& b) const {
+    return a > b;
+  }
+};
+}  // namespace
+
+EventId EventQueue::push(SimTime at, EventFn fn) {
+  const EventId id = states_.size();
+  states_.push_back(State::kPending);
+  heap_.push_back(Entry{at, next_seq_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), EntryGreater{});
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::drop_cancelled_top() const {
+  while (!heap_.empty() && states_[heap_.front().id] == State::kCancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled_top();
+  HBP_ASSERT_MSG(!heap_.empty(), "next_time() on empty queue");
+  return heap_.front().at;
+}
+
+std::pair<SimTime, EventFn> EventQueue::pop() {
+  drop_cancelled_top();
+  HBP_ASSERT_MSG(!heap_.empty(), "pop() on empty queue");
+  std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  states_[e.id] = State::kFired;
+  --live_count_;
+  return {e.at, std::move(e.fn)};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id >= states_.size() || states_[id] != State::kPending) return false;
+  states_[id] = State::kCancelled;
+  HBP_ASSERT(live_count_ > 0);
+  --live_count_;
+  return true;
+}
+
+}  // namespace hbp::sim

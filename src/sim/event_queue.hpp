@@ -1,0 +1,61 @@
+// Pending-event set for the discrete-event engine.
+//
+// A binary min-heap keyed on (time, insertion sequence): events scheduled
+// for the same instant fire in the order they were scheduled, which keeps
+// simulations deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hbp::sim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  // Returns an id usable with cancel().
+  EventId push(SimTime at, EventFn fn);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  // Time of the earliest live event; queue must be non-empty.
+  SimTime next_time() const;
+
+  // Pops and returns the earliest live event.
+  std::pair<SimTime, EventFn> pop();
+
+  // Lazily cancels a pending event; cancelling an already-fired or unknown
+  // id is a no-op and returns false.
+  bool cancel(EventId id);
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    EventId id;
+    EventFn fn;
+
+    bool operator>(const Entry& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  enum class State : std::uint8_t { kPending, kFired, kCancelled };
+
+  void drop_cancelled_top() const;
+
+  mutable std::vector<Entry> heap_;
+  std::vector<State> states_;  // indexed by EventId
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace hbp::sim

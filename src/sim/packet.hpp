@@ -1,0 +1,64 @@
+// The simulated packet.
+//
+// The protocol-visible header carries a *spoofable* source address; the
+// ground-truth origin node is carried separately and must never be read by
+// protocol code (only by the metrics layer, to score captures).  Tests
+// enforce this separation by spoofing every attack packet and checking that
+// defenses still localise the true origin.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace hbp::sim {
+
+using Address = std::uint32_t;   // IPv4-like host address
+using NodeId = std::int32_t;     // dense simulator-internal node index
+inline constexpr NodeId kInvalidNode = -1;
+
+enum class PacketType : std::uint8_t {
+  kData,            // CBR payload (client or attacker)
+  kRequest,         // service request (first packet of an exchange)
+  kHandshakeSyn,    // connection handshake, client -> server
+  kHandshakeAck,    // connection handshake, server -> client
+  kCheckpoint,      // roaming-honeypots connection checkpoint
+  kProbe,           // benign background probe (false-positive study)
+  kTcpSyn,          // TCP-lite connection setup
+  kTcpSynAck,
+  kTcpData,         // TCP-lite segment (seq/ack fields below)
+  kTcpAck,
+};
+
+// Marking field written by AS edge routers during honeypot sessions so the
+// HSM can identify the ingress point (Section 5.1; uses the IP ID field of
+// traffic that will be discarded anyway, lg n bits for n edge routers).
+inline constexpr std::int32_t kNoMark = -1;
+
+struct Packet {
+  std::uint64_t uid = 0;           // unique per simulation, for tracing
+  PacketType type = PacketType::kData;
+  Address src = 0;                 // protocol-visible, possibly spoofed
+  Address dst = 0;
+  std::int32_t size_bytes = 1000;
+  std::uint8_t ttl = 64;
+  std::int32_t mark = kNoMark;     // edge-router id stamp (marking mode)
+  std::int32_t tunnel_id = kNoMark;  // GRE-like tunnel ingress id (tunnel mode)
+  std::uint32_t flow = 0;          // flow identifier for per-flow accounting
+  std::int64_t seq = 0;            // TCP-lite sequence number (byte offset)
+  std::int64_t ack = 0;            // TCP-lite cumulative acknowledgement
+
+  // Probabilistic packet marking (Savage et al. edge sampling, used by the
+  // PPM traceback baseline): an edge (start, end) plus the hop distance
+  // from the marking router to the victim.
+  std::int32_t edge_start = kNoMark;
+  std::int32_t edge_end = kNoMark;
+  std::int32_t edge_distance = 0;
+
+  // --- ground truth, invisible to protocol logic ---
+  NodeId origin_node = kInvalidNode;  // who really sent it
+  bool is_attack = false;             // labeled by the traffic generator
+  SimTime sent_at = SimTime::zero();
+};
+
+}  // namespace hbp::sim

@@ -1,0 +1,33 @@
+#include "sim/simulator.hpp"
+
+#include "util/assert.hpp"
+
+namespace hbp::sim {
+
+EventId Simulator::at(SimTime when, EventFn fn) {
+  HBP_ASSERT_MSG(when >= now_, "cannot schedule an event in the past");
+  return queue_.push(when, std::move(fn));
+}
+
+void Simulator::run_until(SimTime horizon) {
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    auto [at, fn] = queue_.pop();
+    HBP_ASSERT(at >= now_);
+    now_ = at;
+    ++executed_;
+    fn();
+  }
+  if (now_ < horizon) now_ = horizon;
+}
+
+void Simulator::run_all() {
+  while (!queue_.empty()) {
+    auto [at, fn] = queue_.pop();
+    HBP_ASSERT(at >= now_);
+    now_ = at;
+    ++executed_;
+    fn();
+  }
+}
+
+}  // namespace hbp::sim

@@ -1,0 +1,43 @@
+// The discrete-event simulator: a clock plus the pending-event set.
+//
+// All model components hold a reference to one Simulator and schedule
+// closures on it; the main loop pops events in time order until the horizon
+// or until the queue drains.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace hbp::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  EventId at(SimTime when, EventFn fn);
+  EventId after(SimTime delay, EventFn fn) { return at(now_ + delay, fn); }
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  // Runs events with time <= horizon; the clock ends at the horizon even if
+  // the queue drained earlier.
+  void run_until(SimTime horizon);
+
+  // Runs until the event queue is empty.
+  void run_all();
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace hbp::sim

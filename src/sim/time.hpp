@@ -1,0 +1,57 @@
+// Simulation time as an integer nanosecond count.
+//
+// Integer time makes event ordering exact and platform-independent; doubles
+// would make tie-breaking (and therefore whole experiment tables) depend on
+// accumulated rounding.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace hbp::sim {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t nanos) : nanos_(nanos) {}
+
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime max() {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+  static constexpr SimTime seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr SimTime millis(double ms) { return seconds(ms * 1e-3); }
+  static constexpr SimTime micros(double us) { return seconds(us * 1e-6); }
+
+  constexpr std::int64_t nanos() const { return nanos_; }
+  constexpr double to_seconds() const { return static_cast<double>(nanos_) * 1e-9; }
+
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.nanos_ + b.nanos_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.nanos_ - b.nanos_);
+  }
+  constexpr SimTime& operator+=(SimTime b) {
+    nanos_ += b.nanos_;
+    return *this;
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime(a.nanos_ * k);
+  }
+
+ private:
+  std::int64_t nanos_ = 0;
+};
+
+// Transmission (serialization) time of `bytes` at `bits_per_second`.
+constexpr SimTime transmission_time(std::int64_t bytes, double bits_per_second) {
+  return SimTime::seconds(static_cast<double>(bytes) * 8.0 / bits_per_second);
+}
+
+}  // namespace hbp::sim

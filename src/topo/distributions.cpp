@@ -1,0 +1,65 @@
+#include "topo/distributions.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hbp::topo {
+
+DiscreteDistribution::DiscreteDistribution(std::vector<std::int64_t> values,
+                                           std::vector<double> weights)
+    : values_(std::move(values)), weights_(std::move(weights)) {
+  HBP_ASSERT(!values_.empty());
+  HBP_ASSERT(values_.size() == weights_.size());
+  total_weight_ = 0.0;
+  for (double w : weights_) {
+    HBP_ASSERT(w >= 0.0);
+    total_weight_ += w;
+  }
+  HBP_ASSERT(total_weight_ > 0.0);
+}
+
+std::int64_t DiscreteDistribution::sample(util::Rng& rng) const {
+  return values_[rng.weighted(weights_)];
+}
+
+double DiscreteDistribution::probability(std::size_t i) const {
+  HBP_ASSERT(i < weights_.size());
+  return weights_[i] / total_weight_;
+}
+
+double DiscreteDistribution::mean() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    s += static_cast<double>(values_[i]) * weights_[i];
+  }
+  return s / total_weight_;
+}
+
+std::int64_t DiscreteDistribution::min_value() const {
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+std::int64_t DiscreteDistribution::max_value() const {
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+DiscreteDistribution fig7_hop_count_distribution() {
+  // Host-to-server link count; bell-shaped, peak near 11-12 hops, with a
+  // small head of very close leaves (access routers directly below the
+  // root) so the Fig. 10 "close attackers" scenario is populated.
+  return DiscreteDistribution(
+      {5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20},
+      {0.05, 0.06, 0.06, 0.08, 0.10, 0.12, 0.13, 0.11, 0.09, 0.07, 0.05,
+       0.03, 0.02, 0.01, 0.01, 0.01});
+}
+
+DiscreteDistribution fig7_node_degree_distribution() {
+  // Interior router total degree; most routers have degree 2-4, with a
+  // heavy tail of high-fanout aggregation routers.
+  return DiscreteDistribution({2, 3, 4, 5, 6, 8, 12, 16},
+                              {0.42, 0.25, 0.15, 0.08, 0.05, 0.03, 0.015,
+                               0.005});
+}
+
+}  // namespace hbp::topo

@@ -1,0 +1,45 @@
+// Discrete empirical distributions used by the tree-topology generator.
+//
+// The paper (Section 8.3, Fig. 7) samples its simulation tree from hop-count
+// and node-degree histograms "roughly matching those of measured trees";
+// the exact numbers were not published, so we ship distributions with the
+// same qualitative shape (bell-shaped hop counts around 11-13; degree mass
+// concentrated at 2-4 with a heavy tail) and expose them for inspection by
+// bench/fig7_topology.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hbp::topo {
+
+class DiscreteDistribution {
+ public:
+  DiscreteDistribution(std::vector<std::int64_t> values,
+                       std::vector<double> weights);
+
+  std::int64_t sample(util::Rng& rng) const;
+
+  const std::vector<std::int64_t>& values() const { return values_; }
+  // Normalised probability of values()[i].
+  double probability(std::size_t i) const;
+  double mean() const;
+  std::int64_t min_value() const;
+  std::int64_t max_value() const;
+
+ private:
+  std::vector<std::int64_t> values_;
+  std::vector<double> weights_;
+  double total_weight_;
+};
+
+// End-to-end hop count (host to server, in links) of leaf hosts — Fig. 7 left.
+DiscreteDistribution fig7_hop_count_distribution();
+
+// Interior-router degree (parent + children) — Fig. 7 right.
+DiscreteDistribution fig7_node_degree_distribution();
+
+}  // namespace hbp::topo

@@ -1,0 +1,79 @@
+#include "topo/string_topo.hpp"
+
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace hbp::topo {
+
+StringTopo build_string(net::Network& network, const StringParams& params) {
+  HBP_ASSERT(params.hops >= 1);
+
+  StringTopo topo;
+
+  net::LinkParams link;
+  link.capacity_bps = params.link_bps;
+  link.delay = params.link_delay;
+  link.queue_bytes = params.queue_bytes;
+
+  auto& gateway = network.add_node<net::Router>("gateway");
+  topo.gateway = gateway.id();
+
+  auto& server = network.add_node<net::Host>("server");
+  network.connect(gateway.id(), server.id(), link);
+  server.set_address(network.assign_address(server.id()));
+  topo.server = server.id();
+  topo.server_addr = server.address();
+
+  sim::NodeId prev = gateway.id();
+  for (int i = 0; i < params.hops; ++i) {
+    auto& r = network.add_node<net::Router>("r" + std::to_string(i));
+    network.connect(prev, r.id(), link);
+    topo.chain_routers.push_back(r.id());
+    prev = r.id();
+  }
+  topo.access_router = topo.chain_routers.back();
+
+  auto& sw = network.add_node<net::Switch>("sw");
+  network.connect(topo.access_router, sw.id(), link);
+  topo.attacker_switch = sw.id();
+
+  auto& attacker = network.add_node<net::Host>("attacker");
+  network.connect(sw.id(), attacker.id(), link);
+  attacker.set_address(network.assign_address(attacker.id()));
+  topo.attacker_host = attacker.id();
+  topo.attacker_addr = attacker.address();
+
+  if (params.with_client) {
+    auto& client = network.add_node<net::Host>("client");
+    network.connect(sw.id(), client.id(), link);
+    client.set_address(network.assign_address(client.id()));
+    topo.client_host = client.id();
+    topo.client_addr = client.address();
+  }
+
+  // AS structure: server AS = {gateway}; each chain router its own AS; the
+  // last one (the access router) is the attacker's stub AS and also owns
+  // the switch and hosts.
+  topo.server_as = topo.as_map.create(gateway.id(), net::kNoAs);
+  topo.as_map.add_router(network, topo.server_as, gateway.id());
+  topo.as_map.add_host(network, topo.server_as, server.id());
+
+  net::AsId downstream = topo.server_as;
+  for (const sim::NodeId r : topo.chain_routers) {
+    const net::AsId as = topo.as_map.create(r, downstream);
+    topo.as_map.add_router(network, as, r);
+    downstream = as;
+  }
+  topo.attacker_as = downstream;
+  topo.as_map.add_switch(network, topo.attacker_as, sw.id());
+  topo.as_map.add_host(network, topo.attacker_as, attacker.id());
+  if (params.with_client) {
+    topo.as_map.add_host(network, topo.attacker_as, topo.client_host);
+  }
+
+  topo.as_map.finalize(network);
+  return topo;
+}
+
+}  // namespace hbp::topo

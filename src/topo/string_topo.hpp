@@ -1,0 +1,45 @@
+// String (chain) topology used by the model-validation experiments
+// (Section 8.2, Fig. 6): one server at one end, one attacker at the other,
+// `h` routers in between.  Every chain router is its own AS, so the number
+// of back-propagation steps to reach the attacker's access router equals
+// the configured hop distance — the `h` of Eqs. (1)-(4).
+#pragma once
+
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/link.hpp"
+#include "net/network.hpp"
+#include "net/router.hpp"
+#include "net/switch_node.hpp"
+#include "topo/as_map.hpp"
+
+namespace hbp::topo {
+
+struct StringParams {
+  int hops = 10;  // number of chain routers between gateway and the switch
+  double link_bps = 10e6;
+  sim::SimTime link_delay = sim::SimTime::millis(1);
+  std::int64_t queue_bytes = 64'000;
+  bool with_client = false;  // attach one legitimate client next to attacker
+};
+
+struct StringTopo {
+  sim::NodeId server = sim::kInvalidNode;
+  sim::Address server_addr = 0;
+  sim::NodeId gateway = sim::kInvalidNode;
+  std::vector<sim::NodeId> chain_routers;
+  sim::NodeId access_router = sim::kInvalidNode;  // last chain router
+  sim::NodeId attacker_switch = sim::kInvalidNode;
+  sim::NodeId attacker_host = sim::kInvalidNode;
+  sim::Address attacker_addr = 0;
+  sim::NodeId client_host = sim::kInvalidNode;
+  sim::Address client_addr = 0;
+  AsMap as_map;
+  net::AsId server_as = net::kNoAs;
+  net::AsId attacker_as = net::kNoAs;  // the stub AS at the far end
+};
+
+StringTopo build_string(net::Network& network, const StringParams& params);
+
+}  // namespace hbp::topo

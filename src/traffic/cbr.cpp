@@ -1,0 +1,53 @@
+#include "traffic/cbr.hpp"
+
+#include "util/assert.hpp"
+
+namespace hbp::traffic {
+
+CbrSource::CbrSource(sim::Simulator& simulator, net::Host& host, util::Rng& rng,
+                     const CbrParams& params, DstFn dst_fn, SpoofFn spoof)
+    : simulator_(simulator),
+      host_(host),
+      rng_(rng),
+      params_(params),
+      dst_fn_(std::move(dst_fn)),
+      spoof_(std::move(spoof)),
+      flow_id_(static_cast<std::uint32_t>(host.id())) {
+  HBP_ASSERT(params.rate_bps > 0);
+  HBP_ASSERT(params.packet_size > 0);
+  interval_ = sim::transmission_time(params.packet_size, params.rate_bps);
+}
+
+void CbrSource::start() {
+  // Phase-desynchronise sources: a random fraction of one interval avoids
+  // the lock-step bursts a shared start time would create.
+  const sim::SimTime phase =
+      sim::SimTime::seconds(rng_.uniform() * interval_.to_seconds());
+  const sim::SimTime first =
+      params_.start > simulator_.now() ? params_.start : simulator_.now();
+  simulator_.at(first + phase, [this] { tick(); });
+}
+
+void CbrSource::tick() {
+  if (simulator_.now() >= params_.stop) return;
+
+  if (!paused_) {
+    const sim::Address dst = dst_fn_();
+    if (dst != 0) {
+      sim::Packet p;
+      p.type = params_.type;
+      p.src = spoof_(rng_, host_.address());
+      p.dst = dst;
+      p.size_bytes = params_.packet_size;
+      p.is_attack = params_.is_attack;
+      p.flow = flow_id_;
+      ++sent_;
+      bytes_sent_ += p.size_bytes;
+      host_.send(std::move(p));
+    }
+  }
+
+  simulator_.after(interval_, [this] { tick(); });
+}
+
+}  // namespace hbp::traffic

@@ -1,0 +1,22 @@
+#include "traffic/follower.hpp"
+
+namespace hbp::traffic {
+
+void FollowerShaper::on_target_honeypot_start() {
+  const std::uint64_t generation = ++epoch_generation_;
+  simulator_.after(d_follow_, [this, generation] {
+    // Only pause if the honeypot epoch that scheduled this is still the
+    // current one (the target has not gone active in between).
+    if (generation == epoch_generation_) {
+      source_.pause();
+      ++evasions_;
+    }
+  });
+}
+
+void FollowerShaper::on_target_honeypot_end() {
+  ++epoch_generation_;
+  source_.resume();
+}
+
+}  // namespace hbp::traffic

@@ -1,0 +1,40 @@
+// Follower attack (Section 7.3): an attacker with inside knowledge of the
+// roaming schedule stops sending d_follow seconds after its target enters a
+// honeypot epoch and resumes when the target becomes active again — trying
+// to starve the back-propagation of honeypot traffic.
+//
+// The shaper is wired to the schedule by the scenario layer via the two
+// notification methods, keeping this module independent of the honeypot
+// substrate.
+#pragma once
+
+#include "sim/simulator.hpp"
+#include "traffic/cbr.hpp"
+
+namespace hbp::traffic {
+
+class FollowerShaper {
+ public:
+  FollowerShaper(sim::Simulator& simulator, CbrSource& source,
+                 sim::SimTime d_follow)
+      : simulator_(simulator), source_(source), d_follow_(d_follow) {}
+
+  // The target server just became a honeypot: keep sending for d_follow,
+  // then go quiet.
+  void on_target_honeypot_start();
+
+  // The target server is active again: resume at once.
+  void on_target_honeypot_end();
+
+  sim::SimTime d_follow() const { return d_follow_; }
+  std::uint64_t evasions() const { return evasions_; }
+
+ private:
+  sim::Simulator& simulator_;
+  CbrSource& source_;
+  sim::SimTime d_follow_;
+  std::uint64_t epoch_generation_ = 0;
+  std::uint64_t evasions_ = 0;
+};
+
+}  // namespace hbp::traffic

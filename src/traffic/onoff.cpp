@@ -1,0 +1,37 @@
+#include "traffic/onoff.hpp"
+
+#include "util/assert.hpp"
+
+namespace hbp::traffic {
+
+OnOffShaper::OnOffShaper(sim::Simulator& simulator, CbrSource& source,
+                         sim::SimTime t_on, sim::SimTime t_off,
+                         sim::SimTime first_on)
+    : simulator_(simulator),
+      source_(source),
+      t_on_(t_on),
+      t_off_(t_off),
+      first_on_(first_on) {
+  HBP_ASSERT(t_on > sim::SimTime::zero());
+  HBP_ASSERT(t_off >= sim::SimTime::zero());
+}
+
+void OnOffShaper::start() {
+  source_.pause();
+  const sim::SimTime first =
+      first_on_ > simulator_.now() ? first_on_ : simulator_.now();
+  simulator_.at(first, [this] { begin_burst(); });
+}
+
+void OnOffShaper::begin_burst() {
+  ++bursts_;
+  source_.resume();
+  simulator_.after(t_on_, [this] { end_burst(); });
+}
+
+void OnOffShaper::end_burst() {
+  source_.pause();
+  simulator_.after(t_off_, [this] { begin_burst(); });
+}
+
+}  // namespace hbp::traffic

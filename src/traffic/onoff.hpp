@@ -1,0 +1,36 @@
+// On-off attack shaping (Section 6): the attacker alternates between
+// sending at full rate for t_on seconds and staying silent for t_off
+// seconds.  Short bursts starve signature collection in conventional
+// traceback — the motivation for progressive back-propagation.
+#pragma once
+
+#include "sim/simulator.hpp"
+#include "traffic/cbr.hpp"
+
+namespace hbp::traffic {
+
+class OnOffShaper {
+ public:
+  OnOffShaper(sim::Simulator& simulator, CbrSource& source, sim::SimTime t_on,
+              sim::SimTime t_off, sim::SimTime first_on = sim::SimTime::zero());
+
+  // Arms the on/off cycle; the source starts paused until the first burst.
+  void start();
+
+  sim::SimTime t_on() const { return t_on_; }
+  sim::SimTime t_off() const { return t_off_; }
+  std::uint64_t bursts_started() const { return bursts_; }
+
+ private:
+  void begin_burst();
+  void end_burst();
+
+  sim::Simulator& simulator_;
+  CbrSource& source_;
+  sim::SimTime t_on_;
+  sim::SimTime t_off_;
+  sim::SimTime first_on_;
+  std::uint64_t bursts_ = 0;
+};
+
+}  // namespace hbp::traffic

@@ -1,0 +1,44 @@
+#include "traffic/probe.hpp"
+
+#include "util/assert.hpp"
+
+namespace hbp::traffic {
+
+ProbeSource::ProbeSource(sim::Simulator& simulator, net::Host& host,
+                         util::Rng& rng, std::vector<sim::Address> targets,
+                         double probes_per_second, sim::SimTime start,
+                         sim::SimTime stop)
+    : simulator_(simulator),
+      host_(host),
+      rng_(rng),
+      targets_(std::move(targets)),
+      rate_(probes_per_second),
+      start_(start),
+      stop_(stop) {
+  HBP_ASSERT(!targets_.empty());
+  HBP_ASSERT(probes_per_second > 0);
+}
+
+void ProbeSource::start() {
+  const sim::SimTime first =
+      start_ > simulator_.now() ? start_ : simulator_.now();
+  simulator_.at(first, [this] { tick(); });
+}
+
+void ProbeSource::tick() {
+  if (simulator_.now() >= stop_) return;
+
+  sim::Packet p;
+  p.type = sim::PacketType::kProbe;
+  p.src = host_.address();
+  p.dst = targets_[rng_.below(targets_.size())];
+  p.size_bytes = 64;
+  p.is_attack = false;
+  ++sent_;
+  host_.send(std::move(p));
+
+  simulator_.after(sim::SimTime::seconds(rng_.exponential(1.0 / rate_)),
+                   [this] { tick(); });
+}
+
+}  // namespace hbp::traffic

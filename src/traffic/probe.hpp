@@ -1,0 +1,39 @@
+// Benign background probes (Section 5.3, "False positives"): longitudinal
+// honeypot studies show honeypots receive non-malicious traffic; a defense
+// that reacts to every stray packet pays high session churn.  This source
+// emits Poisson probe packets to random servers so the activation-threshold
+// ablation can measure false activations.
+#pragma once
+
+#include <vector>
+
+#include "net/host.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace hbp::traffic {
+
+class ProbeSource {
+ public:
+  ProbeSource(sim::Simulator& simulator, net::Host& host, util::Rng& rng,
+              std::vector<sim::Address> targets, double probes_per_second,
+              sim::SimTime start, sim::SimTime stop);
+
+  void start();
+
+  std::uint64_t probes_sent() const { return sent_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& simulator_;
+  net::Host& host_;
+  util::Rng& rng_;
+  std::vector<sim::Address> targets_;
+  double rate_;
+  sim::SimTime start_;
+  sim::SimTime stop_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace hbp::traffic

@@ -1,0 +1,29 @@
+#include "traffic/spoof.hpp"
+
+#include "util/assert.hpp"
+
+namespace hbp::traffic {
+
+SpoofFn no_spoof() {
+  return [](util::Rng&, sim::Address real) { return real; };
+}
+
+SpoofFn random_spoof() {
+  return [](util::Rng& rng, sim::Address) {
+    // Avoid 0 (unassigned marker).
+    return static_cast<sim::Address>(rng.below(0xffffffffULL) + 1);
+  };
+}
+
+SpoofFn fixed_spoof(sim::Address forged) {
+  return [forged](util::Rng&, sim::Address) { return forged; };
+}
+
+SpoofFn subnet_spoof(sim::Address base, sim::Address span) {
+  HBP_ASSERT(span >= 1);
+  return [base, span](util::Rng& rng, sim::Address) {
+    return base + static_cast<sim::Address>(rng.below(span));
+  };
+}
+
+}  // namespace hbp::traffic

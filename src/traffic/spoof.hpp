@@ -1,0 +1,31 @@
+// Source-address spoofing policies for attack traffic (Section 3: zombies
+// send spoofed packets destined for the servers).
+//
+// A policy maps the attacker's real address to the address written into the
+// packet header.  Routing never consults the source address, so spoofed
+// values need not be assigned to any host.
+#pragma once
+
+#include <functional>
+
+#include "sim/packet.hpp"
+#include "util/rng.hpp"
+
+namespace hbp::traffic {
+
+using SpoofFn = std::function<sim::Address(util::Rng&, sim::Address real)>;
+
+// The host's own address (legitimate traffic).
+SpoofFn no_spoof();
+
+// Uniformly random 32-bit source per packet — the hardest case for
+// source-address-based filtering and blacklisting.
+SpoofFn random_spoof();
+
+// A fixed forged address (e.g. framing a specific prefix).
+SpoofFn fixed_spoof(sim::Address forged);
+
+// Random address within [base, base + span) — subnet spoofing.
+SpoofFn subnet_spoof(sim::Address base, sim::Address span);
+
+}  // namespace hbp::traffic

@@ -1,0 +1,34 @@
+// Lightweight always-on assertion macro.
+//
+// Simulation correctness depends on internal invariants (event ordering,
+// conservation of packets, protocol state machines).  These checks are cheap
+// relative to packet processing, so they stay enabled in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hbp::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "HBP_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace hbp::util
+
+#define HBP_ASSERT(expr)                                            \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::hbp::util::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                               \
+  } while (false)
+
+#define HBP_ASSERT_MSG(expr, msg)                                \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::hbp::util::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+    }                                                            \
+  } while (false)

@@ -1,0 +1,60 @@
+#include "util/bloom.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hbp::util {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+BloomFilter::BloomFilter(std::size_t bits, int hashes)
+    : bits_(bits, false), hashes_(hashes) {
+  HBP_ASSERT(bits > 0);
+  HBP_ASSERT(hashes >= 1 && hashes <= 16);
+}
+
+std::uint64_t BloomFilter::probe(std::uint64_t digest, int i) const {
+  // Double hashing: h1 + i*h2, both derived from the digest.
+  const std::uint64_t h1 = mix64(digest);
+  const std::uint64_t h2 = mix64(digest ^ 0x9e3779b97f4a7c15ULL) | 1;
+  return (h1 + static_cast<std::uint64_t>(i) * h2) % bits_.size();
+}
+
+void BloomFilter::insert(std::uint64_t digest) {
+  ++inserted_;
+  for (int i = 0; i < hashes_; ++i) {
+    const std::uint64_t cell = probe(digest, i);
+    if (!bits_[cell]) {
+      bits_[cell] = true;
+      ++set_cells_;
+    }
+  }
+}
+
+bool BloomFilter::maybe_contains(std::uint64_t digest) const {
+  for (int i = 0; i < hashes_; ++i) {
+    if (!bits_[probe(digest, i)]) return false;
+  }
+  return true;
+}
+
+double BloomFilter::fill_ratio() const {
+  return static_cast<double>(set_cells_) / static_cast<double>(bits_.size());
+}
+
+double BloomFilter::false_positive_rate() const {
+  return std::pow(fill_ratio(), hashes_);
+}
+
+void BloomFilter::clear() {
+  bits_.assign(bits_.size(), false);
+  set_cells_ = 0;
+  inserted_ = 0;
+}
+
+}  // namespace hbp::util

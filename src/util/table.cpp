@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hbp::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  HBP_ASSERT(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  HBP_ASSERT_MSG(cells.size() == headers_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::num(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+std::string Table::percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::fputs("  ", out);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%-*s", static_cast<int>(widths[c] + 2), row[c].c_str());
+    }
+    std::fputc('\n', out);
+  };
+
+  print_row(headers_);
+  std::size_t total = 2;
+  for (std::size_t w : widths) total += w + 2;
+  std::fputs("  ", out);
+  for (std::size_t i = 2; i < total; ++i) std::fputc('-', out);
+  std::fputc('\n', out);
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_banner(const std::string& title, std::FILE* out) {
+  std::fprintf(out, "\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace hbp::util

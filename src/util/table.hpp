@@ -1,0 +1,35 @@
+// Column-aligned plain-text table printer used by the benchmark harnesses
+// to emit the rows/series corresponding to the paper's tables and figures.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hbp::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string num(long long v);
+  static std::string percent(double fraction, int precision = 1);
+
+  // Renders to the stream (default stdout).
+  void print(std::FILE* out = stdout) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a titled section banner.
+void print_banner(const std::string& title, std::FILE* out = stdout);
+
+}  // namespace hbp::util

@@ -1,0 +1,94 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+
+namespace hbp::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+  }
+  // A single-core machine gains nothing from one worker thread; run inline.
+  if (workers <= 1) return;
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (threads_.empty() || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared by value among queued tasks: a queued task can start (or finish)
+  // after this call would otherwise have returned, so the context must not
+  // live on this stack frame.
+  struct Context {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t n;
+    const std::function<void(std::size_t)>* fn;
+  };
+  auto ctx = std::make_shared<Context>();
+  ctx->n = n;
+  ctx->fn = &fn;  // valid: we block below until all n items are done
+
+  auto work = [ctx] {
+    for (;;) {
+      const std::size_t i = ctx->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= ctx->n) break;
+      (*ctx->fn)(i);
+      if (ctx->done.fetch_add(1, std::memory_order_acq_rel) + 1 == ctx->n) {
+        std::lock_guard lock(ctx->mutex);
+        ctx->cv.notify_all();
+      }
+    }
+  };
+
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      queue_.emplace_back(work);
+    }
+  }
+  cv_.notify_all();
+
+  // The calling thread participates too.
+  work();
+
+  std::unique_lock lock(ctx->mutex);
+  ctx->cv.wait(lock, [&] {
+    return ctx->done.load(std::memory_order_acquire) >= ctx->n;
+  });
+}
+
+}  // namespace hbp::util

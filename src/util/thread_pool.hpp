@@ -1,0 +1,45 @@
+// Fixed-size worker pool used to run independent simulation replications
+// (different seeds) concurrently.  Follows the HPC guidance of explicit
+// parallelism with no shared mutable state between work items: each task is
+// a self-contained simulation and only its scalar results are merged.
+//
+// Degrades gracefully to inline execution when the machine exposes a single
+// hardware thread (or when constructed with 0/1 workers).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hbp::util {
+
+class ThreadPool {
+ public:
+  // workers == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  // Runs fn(i) for i in [0, n) across the pool and blocks until all
+  // complete.  With no worker threads this executes inline, serially.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace hbp::util

@@ -1,0 +1,143 @@
+#include "analysis/capture_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hbp::analysis {
+namespace {
+
+// The DESIGN.md reconstruction of the Section 7.4 comparison parameters:
+// m = 10 s, p = 0.4, r = 10 pkt/s, tau = 1 s, h = 10.
+Params paper_params() {
+  Params p;
+  p.m = 10.0;
+  p.p = 0.4;
+  p.r = 10.0;
+  p.tau = 1.0;
+  p.h = 10;
+  return p;
+}
+
+TEST(CaptureTime, HopTime) {
+  EXPECT_DOUBLE_EQ(hop_time(paper_params()), 1.1);
+}
+
+TEST(CaptureTime, BasicContinuousEq3) {
+  const auto e = basic_continuous(paper_params());
+  // m (1/p - 1) = 10 * 1.5 = 15 s.
+  EXPECT_DOUBLE_EQ(e.seconds, 15.0);
+  // m = 10 < h (1/r + tau) = 11: the one-epoch condition just fails at
+  // h = 10 with these numbers.
+  EXPECT_FALSE(e.valid);
+  auto params = paper_params();
+  params.h = 9;
+  EXPECT_TRUE(basic_continuous(params).valid);
+}
+
+TEST(CaptureTime, ProgressiveContinuousEq4) {
+  const auto e = progressive_continuous(paper_params());
+  // (m/p) * h / (m / (1/r+tau)) = h (1/r+tau) / p = 10 * 1.1 / 0.4 = 27.5.
+  EXPECT_DOUBLE_EQ(e.seconds, 27.5);
+  EXPECT_TRUE(e.valid);
+}
+
+TEST(CaptureTime, OnOffCaseBoundaries) {
+  // m = 10: case 1 iff t_on >= 20; case 2 iff t_on + t_off >= 10 (and
+  // t_on < 20); case 3 otherwise — the boundaries quoted in Section 7.4.
+  EXPECT_EQ(classify_onoff(10, 20, 5), OnOffCase::kCase1);
+  EXPECT_EQ(classify_onoff(10, 25, 0), OnOffCase::kCase1);
+  EXPECT_EQ(classify_onoff(10, 19.9, 5), OnOffCase::kCase2);
+  EXPECT_EQ(classify_onoff(10, 5, 5), OnOffCase::kCase2);
+  EXPECT_EQ(classify_onoff(10, 4.9, 5), OnOffCase::kCase3);
+  EXPECT_EQ(classify_onoff(10, 2, 2), OnOffCase::kCase3);
+}
+
+TEST(CaptureTime, SpecialCaseEq9MatchesCase2Formula) {
+  const auto params = paper_params();
+  // Eq. (8): t_on* = 2 (1/r + tau) = 2.2 s — as quoted in the paper text
+  // ("2.2 <= t_on < 4.4" is the special-case region for t_off = 10).
+  EXPECT_DOUBLE_EQ(best_attack_t_on(params), 2.2);
+  // At t_on = t_on*, Eq. (7) degenerates to Eq. (9): h (t_on + t_off) / p.
+  const double t_off = 10.0;
+  const double eq9 = progressive_onoff_special(params, t_off);
+  EXPECT_DOUBLE_EQ(eq9, 10 * (2.2 + 10.0) / 0.4);
+  const auto eq7 = progressive_onoff(params, 2.2, t_off);
+  EXPECT_NEAR(eq7.seconds, eq9, 1e-9);
+  EXPECT_TRUE(eq7.valid);
+}
+
+TEST(CaptureTime, BasicOnOffUsesTrialPeriod) {
+  const auto params = paper_params();
+  const auto e = basic_onoff(params, 30.0, 5.0);  // case 1
+  EXPECT_DOUBLE_EQ(e.seconds, (1.0 / 0.4 - 1.0) * 35.0);
+}
+
+TEST(CaptureTime, Case3UsesFlooredBurstCount) {
+  auto params = paper_params();
+  params.h = 2;
+  // t_on = 2, t_off = 2, m = 10: T_m = 2 * floor(10/4) = 4.
+  const auto e = progressive_onoff(params, 2.0, 2.0);
+  const double hops_per_success = 4.0 / 1.1;
+  EXPECT_DOUBLE_EQ(e.seconds, (10.0 / 0.4) * 2 / hops_per_success);
+  EXPECT_TRUE(e.valid);
+}
+
+TEST(CaptureTime, FollowerFormula) {
+  const auto params = paper_params();
+  const auto e = progressive_follower(params, 2.2);
+  // hops per success = 2.2 / 1.1 = 2 => (m/p) h / 2 = 25 * 10 / 2 = 125.
+  EXPECT_DOUBLE_EQ(e.seconds, 125.0);
+  EXPECT_TRUE(e.valid);
+  // d_follow below one hop time: at most one hop per epoch, invalid region.
+  const auto slow = progressive_follower(params, 0.5);
+  EXPECT_FALSE(slow.valid);
+  EXPECT_DOUBLE_EQ(slow.seconds, (10.0 / 0.4) * 10.0);
+}
+
+TEST(CaptureTime, BestAttackStrategyIsWorstForDefense) {
+  // Fig. 5's headline: the Eq. (9) point (t_on = 2(1/r+tau)) maximises
+  // capture time across burst lengths for fixed t_off.
+  const auto params = paper_params();
+  const double t_off = 10.0;
+  const double special = progressive_onoff_special(params, t_off);
+  for (double t_on : {1.0, 3.0, 5.0, 8.0, 15.0, 25.0, 40.0}) {
+    const auto e = progressive_onoff(params, t_on, t_off);
+    if (!e.valid) continue;
+    EXPECT_LE(e.seconds, special + 1e-9) << "t_on = " << t_on;
+  }
+}
+
+// Monotonicity properties over parameter sweeps.
+class CaptureTimeMonotonic : public ::testing::TestWithParam<double> {};
+
+TEST_P(CaptureTimeMonotonic, ProgressiveDecreasesWithP) {
+  auto params = paper_params();
+  params.p = GetParam();
+  const double base = progressive_continuous(params).seconds;
+  params.p = GetParam() + 0.1;
+  EXPECT_LT(progressive_continuous(params).seconds, base);
+}
+
+TEST_P(CaptureTimeMonotonic, ProgressiveIncreasesWithH) {
+  auto params = paper_params();
+  params.p = GetParam();
+  params.h = 5;
+  const double base = progressive_continuous(params).seconds;
+  params.h = 10;
+  EXPECT_GT(progressive_continuous(params).seconds, base);
+}
+
+TEST_P(CaptureTimeMonotonic, BasicIndependentOfH) {
+  auto params = paper_params();
+  params.p = GetParam();
+  params.h = 3;
+  const double a = basic_continuous(params).seconds;
+  params.h = 8;
+  EXPECT_DOUBLE_EQ(basic_continuous(params).seconds, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(PSweep, CaptureTimeMonotonic,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7,
+                                           0.8));
+
+}  // namespace
+}  // namespace hbp::analysis

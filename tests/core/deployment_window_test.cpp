@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "core/messages.hpp"
+#include "util/rng.hpp"
+
+namespace hbp::core {
+namespace {
+
+TEST(DeploymentPolicy, DefaultIsFull) {
+  DeploymentPolicy policy;
+  EXPECT_TRUE(policy.full());
+  for (net::AsId as = 0; as < 100; ++as) EXPECT_TRUE(policy.deploys(as));
+}
+
+TEST(DeploymentPolicy, ExplicitSet) {
+  const auto policy = DeploymentPolicy::explicit_set({1, 3, 5});
+  EXPECT_FALSE(policy.full());
+  EXPECT_TRUE(policy.deploys(1));
+  EXPECT_TRUE(policy.deploys(3));
+  EXPECT_FALSE(policy.deploys(0));
+  EXPECT_FALSE(policy.deploys(2));
+}
+
+TEST(DeploymentPolicy, RandomFractionKeepsAlwaysSet) {
+  util::Rng rng(4);
+  const auto policy =
+      DeploymentPolicy::random_fraction(0.0, 50, rng, {0, 7});
+  // Fraction 0: only the always-deploy set.
+  EXPECT_TRUE(policy.deploys(0));
+  EXPECT_TRUE(policy.deploys(7));
+  int others = 0;
+  for (net::AsId as = 1; as < 50; ++as) {
+    if (as != 7 && policy.deploys(as)) ++others;
+  }
+  EXPECT_EQ(others, 0);
+}
+
+TEST(DeploymentPolicy, RandomFractionRoughlyMatches) {
+  util::Rng rng(5);
+  const auto policy =
+      DeploymentPolicy::random_fraction(0.5, 1000, rng, {0});
+  int deployed = 0;
+  for (net::AsId as = 0; as < 1000; ++as) {
+    if (policy.deploys(as)) ++deployed;
+  }
+  EXPECT_NEAR(deployed / 1000.0, 0.5, 0.05);
+}
+
+TEST(SessionWindow, ContainsIsInclusive) {
+  SessionWindow w;
+  w.start = sim::SimTime::seconds(10);
+  w.end = sim::SimTime::seconds(20);
+  EXPECT_FALSE(w.contains(sim::SimTime::seconds(9.999)));
+  EXPECT_TRUE(w.contains(sim::SimTime::seconds(10)));
+  EXPECT_TRUE(w.contains(sim::SimTime::seconds(15)));
+  EXPECT_TRUE(w.contains(sim::SimTime::seconds(20)));
+  EXPECT_FALSE(w.contains(sim::SimTime::seconds(20.001)));
+}
+
+TEST(SessionWindow, DefaultIsDegenerate) {
+  SessionWindow w;
+  EXPECT_TRUE(w.contains(sim::SimTime::zero()));
+  EXPECT_FALSE(w.contains(sim::SimTime::millis(1)));
+}
+
+}  // namespace
+}  // namespace hbp::core

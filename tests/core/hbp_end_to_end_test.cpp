@@ -1,0 +1,310 @@
+// End-to-end honeypot back-propagation tests on the string topology
+// (Section 8.2 setting): traceback through a chain of ASs down to the
+// attacker's switch port, with spoofed sources, clients as bystanders,
+// message forgery, compromised edge routers, partial deployment, and the
+// tunneling/marking ingress-identification modes.
+#include <gtest/gtest.h>
+
+#include "scenario/string_experiment.hpp"
+
+#include <memory>
+
+#include "core/defense.hpp"
+#include "honeypot/schedule.hpp"
+#include "net/control_plane.hpp"
+#include "net/network.hpp"
+#include "topo/string_topo.hpp"
+#include "traffic/cbr.hpp"
+#include "traffic/spoof.hpp"
+#include "util/rng.hpp"
+
+namespace hbp::core {
+namespace {
+
+// A hand-wired harness around the string topology so individual tests can
+// poke at defense internals (the scenario::run_string_experiment wrapper is
+// exercised too, further below).
+struct HbpStringFixture : public ::testing::Test {
+  void build(int hops, bool with_client, const HbpParams& hbp_params,
+             double p = 0.5) {
+    topo::StringParams sp;
+    sp.hops = hops;
+    sp.with_client = with_client;
+    topo = topo::build_string(network, sp);
+    network.compute_routes();
+
+    chain = std::make_shared<honeypot::HashChain>(
+        util::Sha256::hash("e2e"), 1024);
+    schedule = std::make_unique<honeypot::BernoulliSchedule>(
+        chain, p, sim::SimTime::seconds(5));
+    honeypot::ServerPoolParams pool_params;
+    pool_params.delta = sim::SimTime::millis(50);
+    pool_params.gamma = sim::SimTime::millis(25);
+    pool = std::make_unique<honeypot::ServerPool>(
+        simulator, network, *schedule, std::vector<sim::NodeId>{topo.server},
+        std::vector<sim::Address>{topo.server_addr}, store, pool_params);
+
+    net::ControlPlane::Params cp;
+    cp.per_hop_latency = sim::SimTime::millis(50);
+    cp.jitter_fraction = 0.0;
+    control = std::make_unique<net::ControlPlane>(simulator, cp);
+
+    defense = std::make_unique<HbpDefense>(simulator, network, *control,
+                                           *pool, topo.as_map, hbp_params);
+    defense->start();
+    pool->start();
+  }
+
+  void attack(double rate_bps = 0.8e6) {
+    traffic::CbrParams params;
+    params.rate_bps = rate_bps;
+    params.is_attack = true;
+    attacker = std::make_unique<traffic::CbrSource>(
+        simulator, static_cast<net::Host&>(network.node(topo.attacker_host)),
+        rng, params, [this] { return topo.server_addr; },
+        traffic::random_spoof());
+    attacker->start();
+  }
+
+  void legit_client(double rate_bps = 0.4e6) {
+    // A plain client that knows the schedule: sends only when the server
+    // is active (stand-in for a roaming client in the 1-server string).
+    traffic::CbrParams params;
+    params.rate_bps = rate_bps;
+    client = std::make_unique<traffic::CbrSource>(
+        simulator, static_cast<net::Host&>(network.node(topo.client_host)),
+        rng, params, [this]() -> sim::Address {
+          const auto epoch = schedule->epoch_of(simulator.now());
+          return schedule->is_active(0, epoch) ? topo.server_addr : 0;
+        });
+    client->start();
+  }
+
+  sim::Simulator simulator;
+  net::Network network{simulator};
+  topo::StringTopo topo;
+  std::shared_ptr<honeypot::HashChain> chain;
+  std::unique_ptr<honeypot::BernoulliSchedule> schedule;
+  honeypot::CheckpointStore store;
+  std::unique_ptr<honeypot::ServerPool> pool;
+  std::unique_ptr<net::ControlPlane> control;
+  std::unique_ptr<HbpDefense> defense;
+  std::unique_ptr<traffic::CbrSource> attacker;
+  std::unique_ptr<traffic::CbrSource> client;
+  util::Rng rng{17};
+};
+
+TEST_F(HbpStringFixture, CapturesSpoofingAttacker) {
+  build(5, false, HbpParams{});
+  attack();
+  simulator.run_until(sim::SimTime::seconds(120));
+  ASSERT_EQ(defense->captures().size(), 1u);
+  EXPECT_EQ(defense->captures()[0].host, topo.attacker_host);
+  EXPECT_GT(defense->activations(), 0u);
+  EXPECT_EQ(defense->false_activations(), 0u);
+  // The attacker's switch port is actually closed.
+  auto& sw = static_cast<net::Switch&>(network.node(topo.attacker_switch));
+  EXPECT_EQ(sw.closed_port_count(), 1u);
+}
+
+TEST_F(HbpStringFixture, CaptureStopsAttackTraffic) {
+  build(4, false, HbpParams{});
+  attack();
+  simulator.run_until(sim::SimTime::seconds(120));
+  ASSERT_EQ(defense->captures().size(), 1u);
+  const auto& server = static_cast<net::Host&>(network.node(topo.server));
+  const auto received_at_capture_plus = server.packets_received();
+  simulator.run_until(sim::SimTime::seconds(160));
+  // No further attack packets reach the server after the port closed.
+  EXPECT_EQ(server.packets_received(), received_at_capture_plus);
+}
+
+TEST_F(HbpStringFixture, InnocentClientNeverCaptured) {
+  build(5, true, HbpParams{});
+  attack();
+  legit_client();
+  simulator.run_until(sim::SimTime::seconds(200));
+  ASSERT_GE(defense->captures().size(), 1u);
+  for (const auto& c : defense->captures()) {
+    EXPECT_EQ(c.host, topo.attacker_host);
+  }
+  // The client's port stays open.
+  auto& sw = static_cast<net::Switch&>(network.node(topo.attacker_switch));
+  EXPECT_EQ(sw.closed_port_count(), 1u);
+}
+
+TEST_F(HbpStringFixture, TunnelingModeAlsoCaptures) {
+  HbpParams params;
+  params.ingress_mode = HbpParams::IngressMode::kTunneling;
+  build(5, false, params);
+  attack();
+  simulator.run_until(sim::SimTime::seconds(120));
+  EXPECT_EQ(defense->captures().size(), 1u);
+}
+
+TEST_F(HbpStringFixture, ActivationThresholdSuppressesSparseTraffic) {
+  HbpParams params;
+  params.activation_threshold = 1000;  // effectively unreachable
+  build(4, false, params);
+  attack(0.08e6);  // 10 packets/s: ~50 per honeypot window < 1000
+  simulator.run_until(sim::SimTime::seconds(100));
+  EXPECT_EQ(defense->activations(), 0u);
+  EXPECT_TRUE(defense->captures().empty());
+}
+
+TEST_F(HbpStringFixture, ForgedRequestRejected) {
+  build(4, false, HbpParams{});
+  attack();
+  // Inject an unauthenticated request claiming a session in AS 2.
+  HoneypotRequest forged;
+  forged.dst = topo.server_addr;
+  forged.epoch = 1;
+  forged.window.end = sim::SimTime::seconds(1000);
+  forged.from_as = 1;
+  forged.to_as = 2;
+  // mac left zero — wrong.
+  defense->deliver_request(forged);
+  EXPECT_EQ(defense->forged_rejected(), 1u);
+  EXPECT_FALSE(defense->hsm(2)->session_active(topo.server_addr));
+}
+
+TEST_F(HbpStringFixture, ForgedCancelCannotTearDownSessions) {
+  build(4, false, HbpParams{});
+  attack();
+  // Run until a session exists somewhere past the home AS.
+  simulator.run_until(sim::SimTime::seconds(60));
+  HoneypotCancel forged;
+  forged.dst = topo.server_addr;
+  forged.epoch = 99;
+  forged.from_as = 1;
+  forged.to_as = topo.server_as;
+  defense->deliver_cancel(forged);
+  EXPECT_GE(defense->forged_rejected(), 1u);
+}
+
+TEST_F(HbpStringFixture, CompromisedEdgeRouterCannotCauseFalseCapture) {
+  // The edge router of the middle AS stamps a bogus edge id on every
+  // diverted packet.  Back-propagation into the wrong branch dies out (no
+  // matching cross link / no packets there); the attacker may escape but
+  // nobody innocent is captured.
+  build(5, true, HbpParams{});
+  const net::AsId mid_as = network.node(topo.chain_routers[2]).as_id();
+  // Prime: create the HSM before compromising its filter-to-be.
+  defense->hsm(mid_as)->compromise_edge_router(topo.chain_routers[2], 777);
+  attack();
+  legit_client();
+  simulator.run_until(sim::SimTime::seconds(150));
+  for (const auto& c : defense->captures()) {
+    EXPECT_EQ(c.host, topo.attacker_host);
+  }
+}
+
+TEST_F(HbpStringFixture, PartialDeploymentBridgesGaps) {
+  // ASs 2 and 3 (middle of the chain) do not deploy; requests must bridge
+  // over them via routing-option broadcast and still reach the stub.
+  HbpParams params;
+  std::set<net::AsId> deploying{0, 1, 4, 5};
+  params.deployment = DeploymentPolicy::explicit_set(deploying);
+  build(5, false, params);
+  attack();
+  simulator.run_until(sim::SimTime::seconds(200));
+  EXPECT_GT(defense->bridged_messages(), 0u);
+  ASSERT_EQ(defense->captures().size(), 1u);
+  EXPECT_EQ(defense->captures()[0].host, topo.attacker_host);
+}
+
+TEST_F(HbpStringFixture, NoDeploymentAtStubMeansNoCapture) {
+  HbpParams params;
+  std::set<net::AsId> deploying{0, 1, 2, 3, 4};  // stub AS 5 missing
+  params.deployment = DeploymentPolicy::explicit_set(deploying);
+  build(5, false, params);
+  attack();
+  simulator.run_until(sim::SimTime::seconds(150));
+  EXPECT_TRUE(defense->captures().empty());
+}
+
+TEST_F(HbpStringFixture, SessionsTornDownAfterEpoch) {
+  build(4, false, HbpParams{});
+  attack();
+  simulator.run_until(sim::SimTime::seconds(120));
+  // After capture the attack stream is gone; once the last honeypot window
+  // cancels, no HSM session should persist.
+  simulator.run_until(sim::SimTime::seconds(140));
+  std::size_t active = 0;
+  for (std::size_t as = 0; as < topo.as_map.count(); ++as) {
+    if (Hsm* hsm = defense->hsm(static_cast<net::AsId>(as))) {
+      active += hsm->session_count();
+    }
+  }
+  EXPECT_EQ(active, 0u);
+}
+
+TEST_F(HbpStringFixture, HoneypotRequestsCarryAuthenticatedWindow) {
+  build(3, false, HbpParams{});
+  attack();
+  simulator.run_until(sim::SimTime::seconds(100));
+  EXPECT_GT(control->messages_sent("honeypot_request"), 0u);
+  EXPECT_GT(control->messages_sent("honeypot_cancel"), 0u);
+  EXPECT_EQ(defense->forged_rejected(), 0u);
+}
+
+// The scenario-level wrapper used by the Fig. 6 bench.
+TEST(StringExperiment, BasicSchemeCapturesWithinBound) {
+  scenario::StringExperimentConfig config;
+  config.m = 10.0;
+  config.p = 0.5;
+  config.h = 6;
+  config.tau = 0.3;
+  const auto summary = scenario::run_string_replicated(config, 5, 1);
+  EXPECT_EQ(summary.captured, 5);
+  // Eq. (3) upper bound: m (1/p - 1) = 10 s, plus one in-window traversal.
+  EXPECT_LT(summary.capture_time.mean(), 10.0 + config.m);
+}
+
+TEST(StringExperiment, ProgressiveCapturesOnOffAttack) {
+  scenario::StringExperimentConfig config;
+  config.m = 10.0;
+  config.p = 0.5;
+  config.h = 8;
+  config.tau = 0.5;
+  config.progressive = true;
+  // Burst much shorter than the full traversal (8 hops x ~0.58 s): basic
+  // back-propagation can never finish within one burst.
+  config.onoff_t_on = 1.2;
+  config.onoff_t_off = 8.8;
+  config.horizon_seconds = 4000.0;
+  const auto result = scenario::run_string_experiment(config, 3);
+  EXPECT_TRUE(result.captured);
+  EXPECT_GT(result.reports, 0u);  // intermediate-AS reports were needed
+}
+
+TEST(StringExperiment, SurvivesControlPlaneLoss) {
+  // Section 6 rule 1 explicitly covers lost intermediate reports
+  // ("propagation is restarted" in the rare loss case); more generally the
+  // per-epoch re-request makes the scheme self-healing under control
+  // message loss.  20% loss must only slow capture down, not break it.
+  scenario::StringExperimentConfig config;
+  config.m = 10.0;
+  config.p = 0.5;
+  config.h = 5;
+  config.tau = 0.3;
+  config.progressive = true;
+  config.control_loss_probability = 0.2;
+  config.horizon_seconds = 4000.0;
+  const auto summary = scenario::run_string_replicated(config, 5, 3);
+  EXPECT_EQ(summary.captured, 5);
+}
+
+TEST(StringExperiment, DeterministicForSameSeed) {
+  scenario::StringExperimentConfig config;
+  config.h = 4;
+  config.p = 0.5;
+  const auto a = scenario::run_string_experiment(config, 11);
+  const auto b = scenario::run_string_experiment(config, 11);
+  EXPECT_EQ(a.captured, b.captured);
+  EXPECT_DOUBLE_EQ(a.capture_seconds, b.capture_seconds);
+  EXPECT_EQ(a.control_messages, b.control_messages);
+}
+
+}  // namespace
+}  // namespace hbp::core

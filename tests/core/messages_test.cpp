@@ -1,0 +1,107 @@
+#include "core/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hbp::core {
+namespace {
+
+KeyStore store() { return KeyStore(util::Sha256::hash("master")); }
+
+TEST(KeyStore, PairKeysSymmetric) {
+  const auto ks = store();
+  EXPECT_TRUE(util::digest_equal(ks.pair_key(3, 7), ks.pair_key(7, 3)));
+  EXPECT_FALSE(util::digest_equal(ks.pair_key(3, 7), ks.pair_key(3, 8)));
+}
+
+TEST(KeyStore, ServerKeysPerAs) {
+  const auto ks = store();
+  EXPECT_FALSE(util::digest_equal(ks.server_key(1), ks.server_key(2)));
+  EXPECT_FALSE(util::digest_equal(ks.server_key(1), ks.pair_key(1, 1)));
+}
+
+TEST(KeyStore, DifferentMastersDisjoint) {
+  const KeyStore a(util::Sha256::hash("m1"));
+  const KeyStore b(util::Sha256::hash("m2"));
+  EXPECT_FALSE(util::digest_equal(a.pair_key(1, 2), b.pair_key(1, 2)));
+}
+
+TEST(Messages, RequestSignVerifyRoundTrip) {
+  const auto ks = store();
+  HoneypotRequest m;
+  m.dst = 42;
+  m.epoch = 7;
+  m.window.start = sim::SimTime::seconds(60);
+  m.window.end = sim::SimTime::seconds(70);
+  m.from_as = 1;
+  m.to_as = 2;
+  ks.sign(m, ks.pair_key(1, 2));
+  EXPECT_TRUE(ks.verify(m, ks.pair_key(1, 2)));
+  EXPECT_TRUE(ks.verify(m, ks.pair_key(2, 1)));
+  EXPECT_FALSE(ks.verify(m, ks.pair_key(1, 3)));
+}
+
+TEST(Messages, TamperedRequestRejected) {
+  const auto ks = store();
+  HoneypotRequest m;
+  m.dst = 42;
+  m.epoch = 7;
+  m.from_as = 1;
+  m.to_as = 2;
+  ks.sign(m, ks.pair_key(1, 2));
+
+  auto tampered = m;
+  tampered.dst = 43;
+  EXPECT_FALSE(ks.verify(tampered, ks.pair_key(1, 2)));
+
+  tampered = m;
+  tampered.epoch = 8;
+  EXPECT_FALSE(ks.verify(tampered, ks.pair_key(1, 2)));
+
+  tampered = m;
+  tampered.window.end = sim::SimTime::seconds(9999);
+  EXPECT_FALSE(ks.verify(tampered, ks.pair_key(1, 2)));
+
+  tampered = m;
+  tampered.progressive_direct = true;
+  EXPECT_FALSE(ks.verify(tampered, ks.pair_key(1, 2)));
+}
+
+TEST(Messages, CancelCoversFromServerFlag) {
+  const auto ks = store();
+  HoneypotCancel c;
+  c.dst = 9;
+  c.epoch = 3;
+  c.from_as = 0;
+  c.to_as = 4;
+  c.from_server = true;
+  ks.sign(c, ks.server_key(4));
+  EXPECT_TRUE(ks.verify(c, ks.server_key(4)));
+  auto tampered = c;
+  tampered.from_server = false;
+  EXPECT_FALSE(ks.verify(tampered, ks.server_key(4)));
+}
+
+TEST(Messages, ReportTimestampCovered) {
+  const auto ks = store();
+  IntermediateReport r;
+  r.as = 5;
+  r.dst = 9;
+  r.epoch = 2;
+  r.stamped_at = sim::SimTime::seconds(12.5);
+  ks.sign(r, ks.server_key(5));
+  EXPECT_TRUE(ks.verify(r, ks.server_key(5)));
+  auto tampered = r;
+  tampered.stamped_at = sim::SimTime::seconds(1.0);
+  EXPECT_FALSE(ks.verify(tampered, ks.server_key(5)));
+}
+
+TEST(Messages, SerializationsAreDistinctByType) {
+  HoneypotRequest req;
+  HoneypotCancel cancel;
+  IntermediateReport report;
+  EXPECT_NE(serialize(req), serialize(cancel));
+  EXPECT_NE(serialize(cancel), serialize(report));
+}
+
+}  // namespace
+}  // namespace hbp::core

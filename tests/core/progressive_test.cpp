@@ -1,0 +1,94 @@
+#include "core/progressive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hbp::core {
+namespace {
+
+TEST(Progressive, ReportComputesTimeDistance) {
+  ProgressiveManager m(5);
+  m.on_report(3, sim::SimTime::seconds(10), sim::SimTime::seconds(12.5));
+  const auto entries = m.end_round();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].as, 3);
+  EXPECT_DOUBLE_EQ(entries[0].t_a_seconds, 2.5);
+}
+
+TEST(Progressive, Rule1DropsSilentEntries) {
+  ProgressiveManager m(5);
+  m.on_report(1, sim::SimTime::seconds(1), sim::SimTime::seconds(2));
+  m.on_report(2, sim::SimTime::seconds(1), sim::SimTime::seconds(2));
+  EXPECT_EQ(m.end_round().size(), 2u);
+
+  // Only AS 2 reports in the next round; AS 1 is removed by rule 1.
+  m.on_report(2, sim::SimTime::seconds(11), sim::SimTime::seconds(12));
+  const auto entries = m.end_round();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].as, 2);
+  EXPECT_EQ(m.rule1_removals(), 1u);
+  EXPECT_FALSE(m.contains(1));
+}
+
+TEST(Progressive, Rule2DropsAfterRhoConsecutiveReports) {
+  ProgressiveManager m(3);  // rho = 3
+  for (int round = 0; round < 2; ++round) {
+    m.on_report(7, sim::SimTime::seconds(round * 10),
+                sim::SimTime::seconds(round * 10 + 1));
+    EXPECT_EQ(m.end_round().size(), 1u) << "round " << round;
+  }
+  // Third consecutive report hits rho.
+  m.on_report(7, sim::SimTime::seconds(20), sim::SimTime::seconds(21));
+  EXPECT_TRUE(m.end_round().empty());
+  EXPECT_EQ(m.rule2_removals(), 1u);
+  EXPECT_FALSE(m.contains(7));
+}
+
+TEST(Progressive, CounterResetsAfterRemoval) {
+  ProgressiveManager m(2);
+  m.on_report(4, sim::SimTime::seconds(0), sim::SimTime::seconds(1));
+  m.end_round();
+  m.on_report(4, sim::SimTime::seconds(10), sim::SimTime::seconds(11));
+  EXPECT_TRUE(m.end_round().empty());  // rho=2 reached
+  // Fresh discovery starts over.
+  m.on_report(4, sim::SimTime::seconds(20), sim::SimTime::seconds(21));
+  EXPECT_EQ(m.end_round().size(), 1u);
+}
+
+TEST(Progressive, LatestTimestampWins) {
+  ProgressiveManager m(5);
+  m.on_report(3, sim::SimTime::seconds(0), sim::SimTime::seconds(3));
+  m.end_round();
+  m.on_report(3, sim::SimTime::seconds(10), sim::SimTime::seconds(11));
+  const auto entries = m.end_round();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(entries[0].t_a_seconds, 1.0);
+}
+
+TEST(Progressive, MultipleBranchesTrackedIndependently) {
+  ProgressiveManager m(10);
+  for (int round = 0; round < 3; ++round) {
+    m.on_report(1, sim::SimTime::seconds(round * 10),
+                sim::SimTime::seconds(round * 10 + 1));
+    if (round < 2) {
+      m.on_report(2, sim::SimTime::seconds(round * 10),
+                  sim::SimTime::seconds(round * 10 + 2));
+    }
+    const auto entries = m.end_round();
+    if (round < 2) {
+      EXPECT_EQ(entries.size(), 2u);
+    } else {
+      ASSERT_EQ(entries.size(), 1u);  // AS 2 silent => rule 1
+      EXPECT_EQ(entries[0].as, 1);
+    }
+  }
+  EXPECT_EQ(m.reports_received(), 5u);
+}
+
+TEST(Progressive, EmptyRoundIsEmpty) {
+  ProgressiveManager m(5);
+  EXPECT_TRUE(m.end_round().empty());
+  EXPECT_EQ(m.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hbp::core

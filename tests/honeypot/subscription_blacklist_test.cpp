@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "honeypot/blacklist.hpp"
+#include "honeypot/checkpoint.hpp"
+#include "honeypot/subscription.hpp"
+
+namespace hbp::honeypot {
+namespace {
+
+std::shared_ptr<HashChain> chain() {
+  return std::make_shared<HashChain>(util::Sha256::hash("subs"), 256);
+}
+
+TEST(Subscription, IssuesValidKeyWithTrustScaledExpiry) {
+  SubscriptionService service(chain(), 10);
+  const ClientKey low = service.subscribe(5, 1);
+  const ClientKey high = service.subscribe(5, 4);
+  EXPECT_EQ(low.epoch_limit, 15u);
+  EXPECT_EQ(high.epoch_limit, 45u);
+  EXPECT_TRUE(service.valid(low));
+  EXPECT_TRUE(service.valid(high));
+  EXPECT_EQ(service.keys_issued(), 2u);
+}
+
+TEST(Subscription, ExpiryClampsToChainLength) {
+  SubscriptionService service(chain(), 1000);
+  const ClientKey key = service.subscribe(1, 5);
+  EXPECT_EQ(key.epoch_limit, 256u);
+  EXPECT_TRUE(service.valid(key));
+}
+
+TEST(Subscription, RenewCountsAndExtends) {
+  SubscriptionService service(chain(), 10);
+  ClientKey key = service.subscribe(1, 1);
+  EXPECT_EQ(key.epoch_limit, 11u);
+  key = service.renew(12, 1);
+  EXPECT_EQ(key.epoch_limit, 22u);
+  EXPECT_EQ(service.renewals(), 1u);
+  EXPECT_EQ(service.keys_issued(), 2u);
+}
+
+TEST(Subscription, RejectsForgedKey) {
+  SubscriptionService service(chain(), 10);
+  ClientKey key = service.subscribe(1, 2);
+  key.key[3] ^= 0xff;
+  EXPECT_FALSE(service.valid(key));
+}
+
+TEST(Subscription, RejectsWrongEpochClaim) {
+  SubscriptionService service(chain(), 10);
+  ClientKey key = service.subscribe(1, 2);
+  key.epoch_limit += 1;  // claims a later key than it holds
+  EXPECT_FALSE(service.valid(key));
+}
+
+TEST(Subscription, RejectsOutOfRangeEpoch) {
+  SubscriptionService service(chain(), 10);
+  ClientKey key;
+  key.epoch_limit = 0;
+  EXPECT_FALSE(service.valid(key));
+  key.epoch_limit = 10'000;
+  EXPECT_FALSE(service.valid(key));
+}
+
+TEST(Blacklist, OnlyHandshakeVerifiedSourcesListed) {
+  Blacklist bl;
+  bl.note_handshake(100);
+  EXPECT_TRUE(bl.observed_at_honeypot(100));
+  EXPECT_TRUE(bl.contains(100));
+  // Spoofed source with no handshake history: not listed.
+  EXPECT_FALSE(bl.observed_at_honeypot(200));
+  EXPECT_FALSE(bl.contains(200));
+  EXPECT_EQ(bl.size(), 1u);
+  EXPECT_EQ(bl.rejected_unverified(), 1u);
+}
+
+TEST(Blacklist, SpoofedFloodNeverFillsList) {
+  // The paper's spoofing attack: fresh forged source per packet.  The
+  // roaming-honeypots blacklist must stay empty — the gap HBP closes.
+  Blacklist bl;
+  for (sim::Address a = 1000; a < 2000; ++a) {
+    EXPECT_FALSE(bl.observed_at_honeypot(a));
+  }
+  EXPECT_EQ(bl.size(), 0u);
+  EXPECT_EQ(bl.rejected_unverified(), 1000u);
+}
+
+TEST(Blacklist, ListedStaysListed) {
+  Blacklist bl;
+  bl.note_handshake(7);
+  bl.observed_at_honeypot(7);
+  EXPECT_TRUE(bl.observed_at_honeypot(7));
+  EXPECT_EQ(bl.size(), 1u);
+}
+
+TEST(CheckpointStore, DepositClaimRoundTrip) {
+  CheckpointStore store;
+  ConnectionState s;
+  s.client = 42;
+  s.server_index = 2;
+  s.bytes = 12345;
+  store.deposit(s);
+  EXPECT_EQ(store.pending(), 1u);
+  const auto claimed = store.claim(42);
+  ASSERT_TRUE(claimed.has_value());
+  EXPECT_EQ(claimed->bytes, 12345u);
+  EXPECT_EQ(claimed->server_index, 2);
+  EXPECT_EQ(store.pending(), 0u);
+  EXPECT_EQ(store.resumes(), 1u);
+}
+
+TEST(CheckpointStore, ClaimUnknownClientEmpty) {
+  CheckpointStore store;
+  EXPECT_FALSE(store.claim(9).has_value());
+  EXPECT_EQ(store.resumes(), 0u);
+}
+
+TEST(CheckpointStore, RedepositOverwrites) {
+  CheckpointStore store;
+  ConnectionState s;
+  s.client = 1;
+  s.bytes = 10;
+  store.deposit(s);
+  s.bytes = 20;
+  store.deposit(s);
+  EXPECT_EQ(store.pending(), 1u);
+  EXPECT_EQ(store.claim(1)->bytes, 20u);
+}
+
+}  // namespace
+}  // namespace hbp::honeypot

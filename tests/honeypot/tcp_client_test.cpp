@@ -1,0 +1,107 @@
+// Roaming TCP clients against a TCP-enabled server pool: migration follows
+// the schedule, transfers keep progressing across role changes, and TCP
+// packets hitting honeypot windows are flagged like any other traffic.
+#include "honeypot/tcp_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/network.hpp"
+#include "net/router.hpp"
+
+namespace hbp::honeypot {
+namespace {
+
+struct TcpPoolFixture : public ::testing::Test {
+  void SetUp() override {
+    router = &network.add_node<net::Router>("r");
+    net::LinkParams link;
+    link.capacity_bps = 50e6;
+    link.delay = sim::SimTime::millis(2);
+    for (int s = 0; s < 5; ++s) {
+      auto& host = network.add_node<net::Host>("server" + std::to_string(s));
+      network.connect(router->id(), host.id(), link);
+      host.set_address(network.assign_address(host.id()));
+      servers.push_back(host.id());
+      server_addrs.push_back(host.address());
+    }
+    client_host = &network.add_node<net::Host>("client");
+    network.connect(router->id(), client_host->id(), link);
+    client_host->set_address(network.assign_address(client_host->id()));
+    network.compute_routes();
+
+    chain = std::make_shared<HashChain>(util::Sha256::hash("tcp-pool"), 1024);
+    schedule = std::make_unique<RoamingSchedule>(chain, 5, 3,
+                                                 sim::SimTime::seconds(5));
+    pool = std::make_unique<ServerPool>(simulator, network, *schedule,
+                                        servers, server_addrs, store,
+                                        ServerPoolParams{});
+    pool->enable_tcp();
+    pool->start();
+  }
+
+  sim::Simulator simulator;
+  net::Network network{simulator};
+  net::Router* router = nullptr;
+  net::Host* client_host = nullptr;
+  std::vector<sim::NodeId> servers;
+  std::vector<sim::Address> server_addrs;
+  std::shared_ptr<HashChain> chain;
+  std::unique_ptr<RoamingSchedule> schedule;
+  CheckpointStore store;
+  std::unique_ptr<ServerPool> pool;
+  util::Rng rng{9};
+};
+
+TEST_F(TcpPoolFixture, TransfersProgressAcrossMigrations) {
+  RoamingTcpClient client(simulator, *client_host, rng, *schedule, *pool);
+  client.start();
+  simulator.run_until(sim::SimTime::seconds(60));  // 12 epochs
+  EXPECT_GT(client.migrations(), 2u);
+  // Bulk transfer over a 50 Mb/s path for 60 s minus migration dips.
+  EXPECT_GT(client.sender().bytes_acked(), 100'000'000);
+  EXPECT_GT(pool->legit_bytes(), 100'000'000u);
+  // Never talks to a honeypot: zero honeypot hits.
+  EXPECT_EQ(pool->honeypot_packets(), 0u);
+}
+
+TEST_F(TcpPoolFixture, ClientAlwaysTargetsActiveServer) {
+  RoamingTcpClient client(simulator, *client_host, rng, *schedule, *pool);
+  client.start();
+  for (int step = 1; step <= 50; ++step) {
+    simulator.run_until(sim::SimTime::seconds(step));
+    // Allow boundary slack: check mid-epoch instants only.
+    const double within = step - static_cast<int>(step / 5.0) * 5.0;
+    if (within < 1.0 || within > 4.0) continue;
+    const auto epoch = schedule->epoch_of(simulator.now());
+    EXPECT_TRUE(schedule->is_active(client.current_server(), epoch))
+        << "t=" << step;
+  }
+}
+
+TEST_F(TcpPoolFixture, MigrationCausesHandshakesAndSlowStart) {
+  RoamingTcpClient client(simulator, *client_host, rng, *schedule, *pool);
+  client.start();
+  simulator.run_until(sim::SimTime::seconds(60));
+  EXPECT_EQ(client.sender().handshakes(), 1u + client.migrations());
+}
+
+TEST_F(TcpPoolFixture, AttackTcpTrafficToHoneypotIsFlagged) {
+  // A (non-roaming-aware) TCP attacker pins one server; when that server
+  // is a honeypot its SYNs/segments land as honeypot hits.
+  auto& attacker_host = network.add_node<net::Host>("attacker");
+  net::LinkParams link;
+  link.capacity_bps = 50e6;
+  link.delay = sim::SimTime::millis(2);
+  network.connect(router->id(), attacker_host.id(), link);
+  attacker_host.set_address(network.assign_address(attacker_host.id()));
+  network.compute_routes();
+  transport::TcpSender attacker(simulator, attacker_host);
+  attacker.connect(server_addrs[0]);
+  simulator.run_until(sim::SimTime::seconds(60));
+  EXPECT_GT(pool->honeypot_packets(), 0u);
+}
+
+}  // namespace
+}  // namespace hbp::honeypot

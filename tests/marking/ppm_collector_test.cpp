@@ -1,0 +1,86 @@
+// Unit tests of the PPM collector's reconstruction logic on synthetic
+// edges, independent of any network.
+#include <gtest/gtest.h>
+
+#include "marking/ppm.hpp"
+
+namespace hbp::marking {
+namespace {
+
+sim::Packet edge(std::int32_t start, std::int32_t end, std::int32_t distance) {
+  sim::Packet p;
+  p.edge_start = start;
+  p.edge_end = end;
+  p.edge_distance = distance;
+  return p;
+}
+
+TEST(PpmCollector, IgnoresUnmarkedPackets) {
+  PpmCollector c;
+  c.collect(sim::Packet{});
+  EXPECT_EQ(c.packets_seen(), 1u);
+  EXPECT_EQ(c.marked_packets(), 0u);
+  EXPECT_TRUE(c.edges().empty());
+}
+
+TEST(PpmCollector, SingleChainReconstruction) {
+  PpmCollector c;
+  // victim <- 10 <- 11 <- 12
+  c.collect(edge(10, sim::kNoMark, 0));
+  c.collect(edge(11, 10, 1));
+  c.collect(edge(12, 11, 2));
+  const auto paths = c.reconstruct_paths();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<std::int32_t>{10, 11, 12}));
+  EXPECT_TRUE(c.path_found({10, 11, 12}));
+  EXPECT_FALSE(c.path_found({10, 12, 11}));
+}
+
+TEST(PpmCollector, DuplicateEdgesDeduplicated) {
+  PpmCollector c;
+  for (int i = 0; i < 10; ++i) c.collect(edge(10, sim::kNoMark, 0));
+  EXPECT_EQ(c.edges().size(), 1u);
+  EXPECT_EQ(c.marked_packets(), 10u);
+}
+
+TEST(PpmCollector, BranchingAttackTree) {
+  PpmCollector c;
+  // Two attackers converging at router 10:
+  //   10 <- 11 <- 12   and   10 <- 11 <- 13
+  c.collect(edge(10, sim::kNoMark, 0));
+  c.collect(edge(11, 10, 1));
+  c.collect(edge(12, 11, 2));
+  c.collect(edge(13, 11, 2));
+  const auto paths = c.reconstruct_paths();
+  EXPECT_EQ(paths.size(), 2u);
+  EXPECT_TRUE(c.path_found({10, 11, 12}));
+  EXPECT_TRUE(c.path_found({10, 11, 13}));
+}
+
+TEST(PpmCollector, IncompleteChainStopsAtGap) {
+  PpmCollector c;
+  c.collect(edge(10, sim::kNoMark, 0));
+  // Distance-1 edge missing; distance-2 edge cannot attach.
+  c.collect(edge(12, 11, 2));
+  const auto paths = c.reconstruct_paths();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<std::int32_t>{10}));
+}
+
+TEST(PpmCollector, FalsePathDetection) {
+  PpmCollector c;
+  c.collect(edge(10, sim::kNoMark, 0));
+  c.collect(edge(999, 10, 1));  // forged: router 999 does not exist
+  c.collect(edge(11, 10, 1));   // genuine
+  const std::set<std::int32_t> real{10, 11, 12};
+  EXPECT_EQ(c.false_paths(real), 1u);
+}
+
+TEST(PpmCollector, EmptyReconstruction) {
+  PpmCollector c;
+  EXPECT_TRUE(c.reconstruct_paths().empty());
+  EXPECT_EQ(c.false_paths({1, 2}), 0u);
+}
+
+}  // namespace
+}  // namespace hbp::marking

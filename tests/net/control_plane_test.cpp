@@ -1,0 +1,82 @@
+#include "net/control_plane.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hbp::net {
+namespace {
+
+TEST(ControlPlane, DeliversAfterPerHopLatency) {
+  sim::Simulator simulator;
+  ControlPlane::Params params;
+  params.per_hop_latency = sim::SimTime::millis(100);
+  params.jitter_fraction = 0.0;
+  ControlPlane cp(simulator, params);
+
+  sim::SimTime delivered_at = sim::SimTime::zero();
+  cp.send("test", 3, [&] { delivered_at = simulator.now(); });
+  simulator.run_all();
+  EXPECT_EQ(delivered_at, sim::SimTime::millis(300));
+}
+
+TEST(ControlPlane, JitterBoundsLatency) {
+  sim::Simulator simulator;
+  ControlPlane::Params params;
+  params.per_hop_latency = sim::SimTime::millis(100);
+  params.jitter_fraction = 0.2;
+  ControlPlane cp(simulator, params);
+  for (int i = 0; i < 100; ++i) {
+    const double s = cp.sample_latency(2).to_seconds();
+    EXPECT_GE(s, 0.16);
+    EXPECT_LE(s, 0.24);
+  }
+}
+
+TEST(ControlPlane, CountsPerKind) {
+  sim::Simulator simulator;
+  ControlPlane cp(simulator, {});
+  cp.send("request", 1, [] {});
+  cp.send("request", 1, [] {});
+  cp.send("cancel", 1, [] {});
+  EXPECT_EQ(cp.messages_sent("request"), 2u);
+  EXPECT_EQ(cp.messages_sent("cancel"), 1u);
+  EXPECT_EQ(cp.messages_sent("other"), 0u);
+  EXPECT_EQ(cp.total_messages(), 3u);
+}
+
+TEST(ControlPlane, LossPreventsDelivery) {
+  sim::Simulator simulator;
+  ControlPlane::Params params;
+  params.loss_probability = 1.0;
+  ControlPlane cp(simulator, params);
+  bool delivered = false;
+  cp.send("x", 1, [&] { delivered = true; });
+  simulator.run_all();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(cp.messages_lost(), 1u);
+}
+
+TEST(ControlPlane, PartialLossRoughlyMatchesProbability) {
+  sim::Simulator simulator;
+  ControlPlane::Params params;
+  params.loss_probability = 0.3;
+  ControlPlane cp(simulator, params);
+  int delivered = 0;
+  for (int i = 0; i < 10000; ++i) {
+    cp.send("x", 1, [&] { ++delivered; });
+  }
+  simulator.run_all();
+  EXPECT_NEAR(delivered / 10000.0, 0.7, 0.03);
+}
+
+TEST(ControlPlane, ZeroHopsDeliversImmediately) {
+  sim::Simulator simulator;
+  ControlPlane cp(simulator, {});
+  bool delivered = false;
+  cp.send("x", 0, [&] { delivered = true; });
+  simulator.run_all();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(simulator.now(), sim::SimTime::zero());
+}
+
+}  // namespace
+}  // namespace hbp::net

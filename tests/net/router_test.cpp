@@ -1,0 +1,144 @@
+#include "net/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/host.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace hbp::net {
+namespace {
+
+class CountingTap : public ForwardTap {
+ public:
+  void on_forward(const sim::Packet& p, int in_port, int out_port) override {
+    ++count;
+    last_in = in_port;
+    last_out = out_port;
+    last_uid = p.uid;
+  }
+  int count = 0;
+  int last_in = -1;
+  int last_out = -1;
+  std::uint64_t last_uid = 0;
+};
+
+class ActionFilter : public PacketFilter {
+ public:
+  explicit ActionFilter(FilterAction a) : action(a) {}
+  FilterAction on_packet(const sim::Packet&, int) override {
+    ++seen;
+    return action;
+  }
+  FilterAction action;
+  int seen = 0;
+};
+
+struct RouterFixture : public ::testing::Test {
+  void SetUp() override {
+    router = &network.add_node<Router>("r");
+    a = &network.add_node<Host>("a");
+    b = &network.add_node<Host>("b");
+    network.connect(a->id(), router->id(), LinkParams{});
+    network.connect(router->id(), b->id(), LinkParams{});
+    a->set_address(network.assign_address(a->id()));
+    b->set_address(network.assign_address(b->id()));
+    network.compute_routes();
+  }
+
+  void send_one() {
+    sim::Packet p;
+    p.dst = b->address();
+    p.size_bytes = 500;
+    a->send(std::move(p));
+    simulator.run_until(simulator.now() + sim::SimTime::seconds(1));
+  }
+
+  sim::Simulator simulator;
+  Network network{simulator};
+  Router* router = nullptr;
+  Host* a = nullptr;
+  Host* b = nullptr;
+};
+
+TEST_F(RouterFixture, TapObservesForwardedPacketsWithPorts) {
+  CountingTap tap;
+  router->add_tap(&tap);
+  send_one();
+  EXPECT_EQ(tap.count, 1);
+  EXPECT_EQ(router->neighbor(static_cast<std::size_t>(tap.last_in)), a->id());
+  EXPECT_EQ(router->neighbor(static_cast<std::size_t>(tap.last_out)), b->id());
+  router->remove_tap(&tap);
+  send_one();
+  EXPECT_EQ(tap.count, 1);
+}
+
+TEST_F(RouterFixture, DropFilterStopsPacket) {
+  ActionFilter filter(FilterAction::kDrop);
+  router->add_filter(&filter);
+  send_one();
+  EXPECT_EQ(filter.seen, 1);
+  EXPECT_EQ(b->packets_received(), 0u);
+  EXPECT_EQ(network.counters().dropped_filter, 1u);
+  router->remove_filter(&filter);
+}
+
+TEST_F(RouterFixture, ConsumeFilterStopsWithoutDropCount) {
+  ActionFilter filter(FilterAction::kConsume);
+  router->add_filter(&filter);
+  send_one();
+  EXPECT_EQ(b->packets_received(), 0u);
+  EXPECT_EQ(network.counters().dropped_filter, 0u);
+  router->remove_filter(&filter);
+}
+
+TEST_F(RouterFixture, PassFilterForwards) {
+  ActionFilter filter(FilterAction::kPass);
+  router->add_filter(&filter);
+  send_one();
+  EXPECT_EQ(b->packets_received(), 1u);
+  router->remove_filter(&filter);
+}
+
+TEST_F(RouterFixture, FilterChainShortCircuits) {
+  ActionFilter first(FilterAction::kDrop);
+  ActionFilter second(FilterAction::kPass);
+  router->add_filter(&first);
+  router->add_filter(&second);
+  send_one();
+  EXPECT_EQ(first.seen, 1);
+  EXPECT_EQ(second.seen, 0);
+  router->remove_filter(&first);
+  router->remove_filter(&second);
+}
+
+TEST_F(RouterFixture, TapNotCalledForFilteredPackets) {
+  CountingTap tap;
+  ActionFilter filter(FilterAction::kDrop);
+  router->add_tap(&tap);
+  router->add_filter(&filter);
+  send_one();
+  EXPECT_EQ(tap.count, 0);
+  router->remove_tap(&tap);
+  router->remove_filter(&filter);
+}
+
+TEST_F(RouterFixture, TtlDecrementsPerHop) {
+  std::uint8_t ttl_at_b = 0;
+  b->set_receiver([&](const sim::Packet& p) { ttl_at_b = p.ttl; });
+  sim::Packet p;
+  p.dst = b->address();
+  p.ttl = 64;
+  a->send(std::move(p));
+  simulator.run_until(sim::SimTime::seconds(1));
+  EXPECT_EQ(ttl_at_b, 63);  // one router hop
+}
+
+TEST_F(RouterFixture, ForwardedCounter) {
+  send_one();
+  send_one();
+  EXPECT_EQ(router->forwarded(), 2u);
+}
+
+}  // namespace
+}  // namespace hbp::net

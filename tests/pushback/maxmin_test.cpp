@@ -1,0 +1,124 @@
+#include "pushback/maxmin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace hbp::pushback {
+namespace {
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(MaxMin, AllDemandsFitAreGranted) {
+  const std::vector<double> d{1.0, 2.0, 3.0};
+  const auto a = maxmin_allocate(d, 10.0);
+  EXPECT_EQ(a, d);
+}
+
+TEST(MaxMin, EqualSplitWhenAllExceed) {
+  const std::vector<double> d{10.0, 10.0, 10.0};
+  const auto a = maxmin_allocate(d, 9.0);
+  for (const double x : a) EXPECT_DOUBLE_EQ(x, 3.0);
+}
+
+TEST(MaxMin, SmallDemandsKeptLargeCapped) {
+  // Classic example: demands {1, 4, 8}, limit 9 => {1, 4, 4}.
+  const auto a = maxmin_allocate(std::vector<double>{1.0, 4.0, 8.0}, 9.0);
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+  EXPECT_DOUBLE_EQ(a[1], 4.0);
+  EXPECT_DOUBLE_EQ(a[2], 4.0);
+}
+
+TEST(MaxMin, IterativeRelease) {
+  // {1, 2, 10, 10}, limit 12: round 1 fair=3 freezes 1 and 2; remaining 9
+  // over two => 4.5 each.
+  const auto a = maxmin_allocate(std::vector<double>{1.0, 2.0, 10.0, 10.0}, 12.0);
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+  EXPECT_DOUBLE_EQ(a[1], 2.0);
+  EXPECT_DOUBLE_EQ(a[2], 4.5);
+  EXPECT_DOUBLE_EQ(a[3], 4.5);
+}
+
+TEST(MaxMin, ZeroLimitAllZero) {
+  const auto a = maxmin_allocate(std::vector<double>{5.0, 7.0}, 0.0);
+  EXPECT_DOUBLE_EQ(a[0], 0.0);
+  EXPECT_DOUBLE_EQ(a[1], 0.0);
+}
+
+TEST(MaxMin, EmptyDemands) {
+  EXPECT_TRUE(maxmin_allocate(std::vector<double>{}, 5.0).empty());
+}
+
+TEST(MaxMinWeighted, SharesProportionalToWeights) {
+  // Both saturated: weight-2 port gets twice the share.
+  const auto a = maxmin_allocate_weighted(std::vector<double>{10.0, 10.0},
+                                          std::vector<double>{1.0, 2.0}, 9.0);
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+  EXPECT_DOUBLE_EQ(a[1], 6.0);
+}
+
+TEST(MaxMinWeighted, LightDemandStillFreezes) {
+  const auto a = maxmin_allocate_weighted(std::vector<double>{0.5, 10.0},
+                                          std::vector<double>{1.0, 1.0}, 5.0);
+  EXPECT_DOUBLE_EQ(a[0], 0.5);
+  EXPECT_DOUBLE_EQ(a[1], 4.5);
+}
+
+// Property sweep: invariants for random inputs.
+class MaxMinProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxMinProperty, Invariants) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.below(8);
+    std::vector<double> demands(n);
+    std::vector<double> weights(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      demands[i] = rng.uniform(0.0, 10.0);
+      weights[i] = rng.uniform(0.1, 5.0);
+    }
+    const double limit = rng.uniform(0.0, 20.0);
+    const auto alloc = maxmin_allocate_weighted(demands, weights, limit);
+
+    ASSERT_EQ(alloc.size(), n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Feasibility: 0 <= alloc <= demand.
+      ASSERT_GE(alloc[i], -1e-9);
+      ASSERT_LE(alloc[i], demands[i] + 1e-9);
+      total += alloc[i];
+    }
+    // Capacity: sum <= limit.
+    ASSERT_LE(total, limit + 1e-6);
+    // Efficiency: either all demands met or the limit is used up.
+    const double demand_total = sum(demands);
+    if (demand_total <= limit) {
+      ASSERT_NEAR(total, demand_total, 1e-6);
+    } else {
+      ASSERT_NEAR(total, limit, 1e-6);
+    }
+    // Max-min property: an unsatisfied i cannot have a smaller normalized
+    // share than any j with a positive allocation above its share.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (alloc[i] >= demands[i] - 1e-9) continue;  // satisfied
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        if (alloc[j] / weights[j] > alloc[i] / weights[i] + 1e-6) {
+          // j got a bigger normalized share than unsatisfied i: only
+          // admissible if j is exactly at its own demand (frozen earlier).
+          ASSERT_NEAR(alloc[j], demands[j], 1e-6)
+              << "max-min violated: i=" << i << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinProperty, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace hbp::pushback

@@ -1,0 +1,58 @@
+#include "pushback/token_bucket.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hbp::pushback {
+namespace {
+
+TEST(TokenBucket, BurstThenThrottle) {
+  TokenBucket tb(8'000.0, 2'000.0, sim::SimTime::zero());  // 1 kB/s, 2 kB burst
+  // Burst allows two 1000-byte packets immediately.
+  EXPECT_TRUE(tb.allow(sim::SimTime::zero(), 1000));
+  EXPECT_TRUE(tb.allow(sim::SimTime::zero(), 1000));
+  EXPECT_FALSE(tb.allow(sim::SimTime::zero(), 1000));
+  EXPECT_EQ(tb.passed(), 2u);
+  EXPECT_EQ(tb.dropped(), 1u);
+}
+
+TEST(TokenBucket, RefillsOverTime) {
+  TokenBucket tb(8'000.0, 1'000.0, sim::SimTime::zero());
+  EXPECT_TRUE(tb.allow(sim::SimTime::zero(), 1000));
+  EXPECT_FALSE(tb.allow(sim::SimTime::millis(100), 1000));  // only 100 B back
+  EXPECT_TRUE(tb.allow(sim::SimTime::seconds(1.1), 1000));
+}
+
+TEST(TokenBucket, LongRunRateConformance) {
+  TokenBucket tb(80'000.0, 10'000.0, sim::SimTime::zero());  // 10 kB/s
+  int passed = 0;
+  // Offer 100 kB/s for 10 s in 1000-byte packets.
+  for (int ms = 0; ms < 10'000; ms += 10) {
+    if (tb.allow(sim::SimTime::millis(ms), 1000)) ++passed;
+  }
+  // ~10 kB/s * 10 s = 100 packets (+ initial burst of 10).
+  EXPECT_NEAR(passed, 110, 3);
+}
+
+TEST(TokenBucket, BurstCapsAccumulation) {
+  TokenBucket tb(80'000.0, 5'000.0, sim::SimTime::zero());
+  // A long idle period cannot bank more than the burst.
+  int passed = 0;
+  while (tb.allow(sim::SimTime::seconds(100), 1000)) ++passed;
+  EXPECT_EQ(passed, 5);
+}
+
+TEST(TokenBucket, SetRateTakesEffect) {
+  TokenBucket tb(8'000.0, 1'000.0, sim::SimTime::zero());
+  tb.allow(sim::SimTime::zero(), 1000);  // drain
+  tb.set_rate(80'000.0);                 // 10x faster refill
+  EXPECT_TRUE(tb.allow(sim::SimTime::millis(200), 1000));
+}
+
+TEST(TokenBucket, ZeroRateNeverRefills) {
+  TokenBucket tb(0.0, 1'000.0, sim::SimTime::zero());
+  EXPECT_TRUE(tb.allow(sim::SimTime::zero(), 1000));
+  EXPECT_FALSE(tb.allow(sim::SimTime::seconds(100), 1));
+}
+
+}  // namespace
+}  // namespace hbp::pushback

@@ -1,0 +1,93 @@
+#include "scenario/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hbp::scenario {
+namespace {
+
+sim::Packet data_packet(std::int32_t bytes, bool attack = false) {
+  sim::Packet p;
+  p.type = sim::PacketType::kData;
+  p.size_bytes = bytes;
+  p.is_attack = attack;
+  return p;
+}
+
+TEST(ThroughputMeter, BinsBytesIntoIntervals) {
+  sim::Simulator simulator;
+  ThroughputMeter meter(simulator, 8e6);  // reference 8 Mb/s => 1 MB/s
+  simulator.at(sim::SimTime::seconds(0.5),
+               [&] { meter.on_delivery(0, data_packet(500'000)); });
+  simulator.at(sim::SimTime::seconds(2.5),
+               [&] { meter.on_delivery(0, data_packet(250'000)); });
+  simulator.run_all();
+
+  const auto timeline = meter.timeline(4.0);
+  ASSERT_EQ(timeline.size(), 4u);
+  EXPECT_DOUBLE_EQ(timeline[0].fraction, 0.5);
+  EXPECT_DOUBLE_EQ(timeline[1].fraction, 0.0);
+  EXPECT_DOUBLE_EQ(timeline[2].fraction, 0.25);
+  EXPECT_DOUBLE_EQ(timeline[3].fraction, 0.0);
+}
+
+TEST(ThroughputMeter, IgnoresAttackAndControlPackets) {
+  sim::Simulator simulator;
+  ThroughputMeter meter(simulator, 8e6);
+  meter.on_delivery(0, data_packet(1000, /*attack=*/true));
+  sim::Packet probe;
+  probe.type = sim::PacketType::kProbe;
+  probe.size_bytes = 1000;
+  meter.on_delivery(0, probe);
+  sim::Packet ack;
+  ack.type = sim::PacketType::kHandshakeAck;
+  ack.size_bytes = 1000;
+  meter.on_delivery(0, ack);
+  EXPECT_EQ(meter.total_bytes(), 0u);
+}
+
+TEST(ThroughputMeter, MeanFractionOverWindow) {
+  sim::Simulator simulator;
+  ThroughputMeter meter(simulator, 8e6);
+  simulator.at(sim::SimTime::seconds(1.5),
+               [&] { meter.on_delivery(0, data_packet(1'000'000)); });
+  simulator.at(sim::SimTime::seconds(2.5),
+               [&] { meter.on_delivery(0, data_packet(1'000'000)); });
+  simulator.run_all();
+  // Bins 1 and 2 hold 1 MB each; mean over [1, 3) = 1 MB/s = full.
+  EXPECT_DOUBLE_EQ(meter.mean_fraction(1.0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(meter.mean_fraction(0.0, 4.0), 0.5);
+  EXPECT_DOUBLE_EQ(meter.mean_fraction(3.0, 4.0), 0.0);
+}
+
+TEST(CaptureRecorder, ScoresAgainstGroundTruth) {
+  CaptureRecorder recorder;
+  recorder.set_attackers({10, 11, 12});
+  recorder.on_capture({10, 1, sim::SimTime::seconds(12)});
+  recorder.on_capture({99, 1, sim::SimTime::seconds(13)});  // innocent!
+  recorder.on_capture({11, 1, sim::SimTime::seconds(20)});
+  EXPECT_EQ(recorder.attackers_captured(), 2u);
+  EXPECT_EQ(recorder.false_captures(), 1u);
+  EXPECT_NEAR(recorder.capture_fraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CaptureRecorder, DelaysMeasuredFromAttackStart) {
+  CaptureRecorder recorder;
+  recorder.set_attackers({1, 2});
+  recorder.on_capture({1, 5, sim::SimTime::seconds(15)});
+  recorder.on_capture({2, 5, sim::SimTime::seconds(25)});
+  EXPECT_DOUBLE_EQ(recorder.mean_capture_delay(5.0), 15.0);
+  EXPECT_DOUBLE_EQ(recorder.max_capture_delay(5.0), 20.0);
+  const auto delays = recorder.capture_delays(5.0);
+  EXPECT_EQ(delays.size(), 2u);
+}
+
+TEST(CaptureRecorder, NoCapturesSentinel) {
+  CaptureRecorder recorder;
+  recorder.set_attackers({1});
+  EXPECT_DOUBLE_EQ(recorder.mean_capture_delay(0.0), -1.0);
+  EXPECT_DOUBLE_EQ(recorder.max_capture_delay(0.0), -1.0);
+  EXPECT_DOUBLE_EQ(recorder.capture_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace hbp::scenario

@@ -1,0 +1,161 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hbp::sim {
+namespace {
+
+TEST(SimTime, ArithmeticAndConversions) {
+  const SimTime a = SimTime::seconds(1.5);
+  EXPECT_EQ(a.nanos(), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(a.to_seconds(), 1.5);
+  EXPECT_EQ((a + SimTime::millis(500)).nanos(), 2'000'000'000);
+  EXPECT_EQ((a - SimTime::seconds(1)).nanos(), 500'000'000);
+  EXPECT_LT(SimTime::micros(1), SimTime::millis(1));
+  EXPECT_EQ((SimTime::seconds(2) * 3).nanos(), 6'000'000'000);
+}
+
+TEST(SimTime, TransmissionTime) {
+  // 1000 bytes at 8 Mb/s = 1 ms.
+  EXPECT_EQ(transmission_time(1000, 8e6), SimTime::millis(1));
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(SimTime::seconds(3), [&] { order.push_back(3); });
+  q.push(SimTime::seconds(1), [&] { order.push_back(1); });
+  q.push(SimTime::seconds(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TieBreaksByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(SimTime::seconds(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.push(SimTime::seconds(9), [] {});
+  q.push(SimTime::seconds(4), [] {});
+  EXPECT_EQ(q.next_time(), SimTime::seconds(4));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.push(SimTime::seconds(1), [&] { ran = true; });
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelFiredEventFails) {
+  EventQueue q;
+  const EventId id = q.push(SimTime::seconds(1), [] {});
+  q.pop().second();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.push(SimTime::seconds(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, CancelledEventsSkippedAmongLive) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(SimTime::seconds(1), [&] { order.push_back(1); });
+  const EventId id = q.push(SimTime::seconds(2), [&] { order.push_back(2); });
+  q.push(SimTime::seconds(3), [&] { order.push_back(3); });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+// Reference-model property test: random interleavings of push/pop/cancel
+// behave exactly like a sorted multimap model.
+class EventQueueModelSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueModelSweep, MatchesReferenceModel) {
+  util::Rng rng(GetParam());
+  EventQueue q;
+  // Model: (time, seq) -> id, mirroring the queue's ordering contract.
+  std::vector<std::tuple<std::int64_t, std::uint64_t, EventId>> model;
+  std::uint64_t seq = 0;
+  std::vector<EventId> live_ids;
+
+  for (int step = 0; step < 2000; ++step) {
+    const auto op = rng.below(10);
+    if (op < 5) {  // push
+      const auto t = static_cast<std::int64_t>(rng.below(100));
+      const EventId id = q.push(SimTime(t), [] {});
+      model.emplace_back(t, seq++, id);
+      live_ids.push_back(id);
+    } else if (op < 8) {  // pop
+      ASSERT_EQ(q.empty(), model.empty());
+      if (model.empty()) continue;
+      const auto best = std::min_element(model.begin(), model.end());
+      auto [t, fn] = q.pop();
+      ASSERT_EQ(t.nanos(), std::get<0>(*best));
+      model.erase(best);
+    } else {  // cancel a random (possibly stale) id
+      if (live_ids.empty()) continue;
+      const EventId id = live_ids[rng.below(live_ids.size())];
+      const bool in_model =
+          std::find_if(model.begin(), model.end(), [&](const auto& e) {
+            return std::get<2>(e) == id;
+          }) != model.end();
+      ASSERT_EQ(q.cancel(id), in_model);
+      if (in_model) {
+        model.erase(std::find_if(model.begin(), model.end(), [&](const auto& e) {
+          return std::get<2>(e) == id;
+        }));
+      }
+    }
+    ASSERT_EQ(q.size(), model.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueModelSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(EventQueue, StressRandomOrdering) {
+  util::Rng rng(77);
+  EventQueue q;
+  std::vector<std::int64_t> popped;
+  for (int i = 0; i < 5000; ++i) {
+    const auto t = static_cast<std::int64_t>(rng.below(1000));
+    q.push(SimTime(t), [] {});
+  }
+  SimTime last = SimTime::zero();
+  while (!q.empty()) {
+    auto [t, fn] = q.pop();
+    EXPECT_GE(t, last);
+    last = t;
+  }
+}
+
+}  // namespace
+}  // namespace hbp::sim

@@ -1,0 +1,75 @@
+#include "topo/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace hbp::topo {
+namespace {
+
+TEST(DiscreteDistribution, SamplesStayInSupport) {
+  DiscreteDistribution d({2, 5, 9}, {1.0, 2.0, 1.0});
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = d.sample(rng);
+    EXPECT_TRUE(v == 2 || v == 5 || v == 9);
+  }
+}
+
+TEST(DiscreteDistribution, ZeroWeightNeverSampled) {
+  DiscreteDistribution d({1, 2, 3}, {1.0, 0.0, 1.0});
+  util::Rng rng(2);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(d.sample(rng), 2);
+}
+
+TEST(DiscreteDistribution, ProbabilitiesNormalised) {
+  DiscreteDistribution d({1, 2}, {3.0, 1.0});
+  EXPECT_DOUBLE_EQ(d.probability(0), 0.75);
+  EXPECT_DOUBLE_EQ(d.probability(1), 0.25);
+  EXPECT_DOUBLE_EQ(d.mean(), 1.25);
+  EXPECT_EQ(d.min_value(), 1);
+  EXPECT_EQ(d.max_value(), 2);
+}
+
+class DistributionSweep
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  DiscreteDistribution dist() const {
+    return std::string(GetParam()) == "hops" ? fig7_hop_count_distribution()
+                                             : fig7_node_degree_distribution();
+  }
+};
+
+TEST_P(DistributionSweep, EmpiricalFrequenciesMatchWeights) {
+  const auto d = dist();
+  util::Rng rng(42);
+  std::map<std::int64_t, int> counts;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++counts[d.sample(rng)];
+  for (std::size_t i = 0; i < d.values().size(); ++i) {
+    const double expected = d.probability(i);
+    const double measured =
+        static_cast<double>(counts[d.values()[i]]) / draws;
+    EXPECT_NEAR(measured, expected, 0.005)
+        << "value " << d.values()[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig7, DistributionSweep,
+                         ::testing::Values("hops", "degrees"));
+
+TEST(Fig7Distributions, QualitativeShape) {
+  const auto hops = fig7_hop_count_distribution();
+  EXPECT_EQ(hops.min_value(), 5);
+  EXPECT_EQ(hops.max_value(), 20);
+  EXPECT_GT(hops.mean(), 9.0);
+  EXPECT_LT(hops.mean(), 13.0);
+
+  const auto deg = fig7_node_degree_distribution();
+  EXPECT_EQ(deg.min_value(), 2);
+  // Degree mass is concentrated at 2-4.
+  EXPECT_GT(deg.probability(0) + deg.probability(1) + deg.probability(2), 0.7);
+}
+
+}  // namespace
+}  // namespace hbp::topo

@@ -1,0 +1,95 @@
+#include "topo/string_topo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace hbp::topo {
+namespace {
+
+TEST(StringTopo, StructureAndDistances) {
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  StringParams params;
+  params.hops = 6;
+  const StringTopo topo = build_string(network, params);
+  network.compute_routes();
+
+  EXPECT_EQ(topo.chain_routers.size(), 6u);
+  // attacker - switch - r5..r0 - gateway - server: 6 + 3 links.
+  EXPECT_EQ(network.hop_distance(topo.attacker_host, topo.server_addr), 9);
+  EXPECT_EQ(topo.access_router, topo.chain_routers.back());
+}
+
+TEST(StringTopo, OneAsPerChainRouter) {
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  StringParams params;
+  params.hops = 4;
+  const StringTopo topo = build_string(network, params);
+
+  EXPECT_EQ(topo.as_map.count(), 5u);  // server AS + 4 chain ASs
+  EXPECT_EQ(topo.as_map.as_hop_distance(topo.attacker_as, topo.server_as), 4);
+  // The chain is a path in the AS graph.
+  net::AsId as = topo.attacker_as;
+  int steps = 0;
+  while (as != topo.server_as) {
+    as = topo.as_map.info(as).downstream;
+    ++steps;
+    ASSERT_LE(steps, 5);
+  }
+  EXPECT_EQ(steps, 4);
+}
+
+TEST(StringTopo, AttackerAsIsNonTransitStub) {
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  StringParams params;
+  params.hops = 3;
+  const StringTopo topo = build_string(network, params);
+  const auto& stub = topo.as_map.info(topo.attacker_as);
+  EXPECT_FALSE(stub.transit);
+  EXPECT_EQ(stub.hosts.size(), 1u);
+  EXPECT_EQ(stub.switches.size(), 1u);
+  // Every intermediate chain AS is transit.
+  for (std::size_t i = 0; i + 1 < topo.chain_routers.size(); ++i) {
+    EXPECT_TRUE(
+        topo.as_map.info(network.node(topo.chain_routers[i]).as_id()).transit);
+  }
+}
+
+TEST(StringTopo, OptionalClientAttached) {
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  StringParams params;
+  params.hops = 2;
+  params.with_client = true;
+  const StringTopo topo = build_string(network, params);
+  ASSERT_NE(topo.client_host, sim::kInvalidNode);
+  EXPECT_EQ(network.node(topo.client_host).as_id(), topo.attacker_as);
+  network.compute_routes();
+  EXPECT_EQ(network.hop_distance(topo.client_host, topo.server_addr),
+            network.hop_distance(topo.attacker_host, topo.server_addr));
+}
+
+TEST(StringTopo, CrossLinkDirections) {
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  StringParams params;
+  params.hops = 3;
+  const StringTopo topo = build_string(network, params);
+
+  // Middle chain AS: one upstream cross link, one downstream.
+  const net::AsId middle = network.node(topo.chain_routers[1]).as_id();
+  const auto& info = topo.as_map.info(middle);
+  ASSERT_EQ(info.cross_links.size(), 2u);
+  int up = 0, down = 0;
+  for (const auto& cl : info.cross_links) {
+    (cl.upstream ? up : down) += 1;
+  }
+  EXPECT_EQ(up, 1);
+  EXPECT_EQ(down, 1);
+}
+
+}  // namespace
+}  // namespace hbp::topo

@@ -1,0 +1,250 @@
+#include "topo/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/simulator.hpp"
+
+namespace hbp::topo {
+namespace {
+
+struct TreeFixture : public ::testing::Test {
+  void SetUp() override {
+    params.leaf_count = 120;
+    util::Rng rng(2024);
+    tree = build_tree(network, rng, params);
+    network.compute_routes();
+  }
+
+  sim::Simulator simulator;
+  net::Network network{simulator};
+  TreeParams params;
+  Tree tree;
+};
+
+TEST_F(TreeFixture, LeafAndServerCounts) {
+  EXPECT_EQ(tree.leaf_hosts.size(), 120u);
+  EXPECT_EQ(tree.servers.size(), 5u);
+  EXPECT_EQ(tree.leaf_addrs.size(), 120u);
+  EXPECT_EQ(tree.leaf_switch.size(), 120u);
+  EXPECT_EQ(tree.leaf_access.size(), 120u);
+}
+
+TEST_F(TreeFixture, EveryLeafReachesEveryServerAtSampledDistance) {
+  for (std::size_t i = 0; i < tree.leaf_hosts.size(); ++i) {
+    for (const sim::Address server : tree.server_addrs) {
+      const int d = network.hop_distance(tree.leaf_hosts[i], server);
+      ASSERT_GT(d, 0);
+      EXPECT_EQ(d, tree.leaf_hopcount[i])
+          << "leaf " << i << " hop count mismatch";
+    }
+  }
+}
+
+TEST_F(TreeFixture, HopCountsWithinDistributionSupport) {
+  for (const int h : tree.leaf_hopcount) {
+    EXPECT_GE(h, 5);
+    EXPECT_LE(h, 20);
+  }
+}
+
+TEST_F(TreeFixture, LeavesByDistanceSorted) {
+  ASSERT_EQ(tree.leaves_by_distance.size(), tree.leaf_hosts.size());
+  for (std::size_t i = 1; i < tree.leaves_by_distance.size(); ++i) {
+    EXPECT_LE(tree.leaf_hopcount[tree.leaves_by_distance[i - 1]],
+              tree.leaf_hopcount[tree.leaves_by_distance[i]]);
+  }
+}
+
+TEST_F(TreeFixture, EveryNodeBelongsToAnAs) {
+  for (std::size_t n = 0; n < network.node_count(); ++n) {
+    EXPECT_NE(network.node(static_cast<sim::NodeId>(n)).as_id(), net::kNoAs)
+        << network.node(static_cast<sim::NodeId>(n)).name();
+  }
+}
+
+TEST_F(TreeFixture, AsGraphIsATreeRootedAtServerAs) {
+  const auto& as_map = tree.as_map;
+  EXPECT_EQ(as_map.info(tree.server_as).downstream, net::kNoAs);
+  for (std::size_t a = 0; a < as_map.count(); ++a) {
+    const auto id = static_cast<net::AsId>(a);
+    if (id == tree.server_as) continue;
+    // Every other AS has exactly one downstream and can reach AS 0.
+    EXPECT_NE(as_map.info(id).downstream, net::kNoAs);
+    EXPECT_GE(as_map.as_hop_distance(id, tree.server_as), 1);
+  }
+}
+
+TEST_F(TreeFixture, UpstreamDownstreamConsistent) {
+  const auto& as_map = tree.as_map;
+  for (std::size_t a = 0; a < as_map.count(); ++a) {
+    const auto id = static_cast<net::AsId>(a);
+    for (const net::AsId up : as_map.info(id).upstream) {
+      EXPECT_EQ(as_map.info(up).downstream, id);
+    }
+  }
+}
+
+TEST_F(TreeFixture, StubAssAreNonTransitAndHostBearing) {
+  const auto& as_map = tree.as_map;
+  std::size_t hosts_in_stubs = 0;
+  for (std::size_t a = 0; a < as_map.count(); ++a) {
+    const auto& info = as_map.info(static_cast<net::AsId>(a));
+    if (info.id == tree.server_as) continue;
+    if (!info.transit) {
+      EXPECT_TRUE(info.upstream.empty());
+      hosts_in_stubs += info.hosts.size();
+    }
+  }
+  // All leaf hosts live in non-transit (stub) ASs.
+  EXPECT_EQ(hosts_in_stubs, tree.leaf_hosts.size());
+}
+
+TEST_F(TreeFixture, CrossLinksCrossAsBoundaries) {
+  const auto& as_map = tree.as_map;
+  for (std::size_t a = 0; a < as_map.count(); ++a) {
+    const auto& info = as_map.info(static_cast<net::AsId>(a));
+    std::set<int> edge_ids;
+    for (const CrossLink& cl : info.cross_links) {
+      EXPECT_EQ(network.node(cl.router).as_id(), info.id);
+      const auto neighbor =
+          network.node(cl.router).neighbor(static_cast<std::size_t>(cl.port));
+      EXPECT_EQ(network.node(neighbor).as_id(), cl.neighbor_as);
+      EXPECT_NE(cl.neighbor_as, info.id);
+      EXPECT_TRUE(edge_ids.insert(cl.edge_id).second)
+          << "duplicate edge id in AS " << info.id;
+    }
+  }
+}
+
+TEST_F(TreeFixture, HostsShareAsWithTheirAccessRouter) {
+  for (std::size_t i = 0; i < tree.leaf_hosts.size(); ++i) {
+    EXPECT_EQ(network.node(tree.leaf_hosts[i]).as_id(),
+              network.node(tree.leaf_access[i]).as_id());
+    EXPECT_EQ(network.node(tree.leaf_switch[i]).as_id(),
+              network.node(tree.leaf_access[i]).as_id());
+  }
+}
+
+TEST_F(TreeFixture, ServersInServerAs) {
+  for (const sim::NodeId s : tree.servers) {
+    EXPECT_EQ(network.node(s).as_id(), tree.server_as);
+  }
+  EXPECT_EQ(network.node(tree.gateway).as_id(), tree.server_as);
+  EXPECT_NE(network.node(tree.root).as_id(), tree.server_as);
+}
+
+TEST_F(TreeFixture, DeterministicForSameSeed) {
+  sim::Simulator sim2;
+  net::Network net2(sim2);
+  util::Rng rng2(2024);
+  const Tree other = build_tree(net2, rng2, params);
+  ASSERT_EQ(other.leaf_hopcount.size(), tree.leaf_hopcount.size());
+  EXPECT_EQ(other.leaf_hopcount, tree.leaf_hopcount);
+  EXPECT_EQ(other.as_map.count(), tree.as_map.count());
+  EXPECT_EQ(net2.node_count(), network.node_count());
+}
+
+TEST_F(TreeFixture, DifferentSeedsDiffer) {
+  sim::Simulator sim2;
+  net::Network net2(sim2);
+  util::Rng rng2(999);
+  const Tree other = build_tree(net2, rng2, params);
+  EXPECT_NE(other.leaf_hopcount, tree.leaf_hopcount);
+}
+
+// The structural invariants must hold for any seed and size, not just the
+// fixture's: sweep a few (seed, leaf_count) combinations.
+class TreeInvariantSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {};
+
+TEST_P(TreeInvariantSweep, CoreInvariantsHold) {
+  const auto [seed, leaf_count] = GetParam();
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  TreeParams params;
+  params.leaf_count = leaf_count;
+  util::Rng rng(seed);
+  const Tree tree = build_tree(network, rng, params);
+  network.compute_routes();
+
+  ASSERT_EQ(tree.leaf_hosts.size(), leaf_count);
+
+  // Reachability at the sampled distance.
+  for (std::size_t i = 0; i < leaf_count; i += 7) {
+    ASSERT_EQ(network.hop_distance(tree.leaf_hosts[i], tree.server_addrs[0]),
+              tree.leaf_hopcount[i]);
+  }
+
+  // AS membership total and tree-ness.
+  std::size_t members = 0;
+  for (std::size_t a = 0; a < tree.as_map.count(); ++a) {
+    const auto& info = tree.as_map.info(static_cast<net::AsId>(a));
+    members += info.routers.size() + info.switches.size() + info.hosts.size();
+    if (info.id != tree.server_as) {
+      ASSERT_NE(info.downstream, net::kNoAs);
+      ASSERT_GE(tree.as_map.as_hop_distance(info.id, tree.server_as), 1);
+    }
+    for (const net::AsId up : info.upstream) {
+      ASSERT_EQ(tree.as_map.info(up).downstream, info.id);
+    }
+  }
+  ASSERT_EQ(members, network.node_count());
+
+  // Every leaf host lives in a non-transit AS reachable from the server AS.
+  for (std::size_t i = 0; i < leaf_count; i += 11) {
+    const auto as = network.node(tree.leaf_hosts[i]).as_id();
+    ASSERT_FALSE(tree.as_map.info(as).transit);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, TreeInvariantSweep,
+    ::testing::Values(std::make_tuple(1ull, 60u), std::make_tuple(2ull, 150u),
+                      std::make_tuple(3ull, 150u), std::make_tuple(4ull, 400u),
+                      std::make_tuple(99ull, 250u)));
+
+TEST(TreeMultiHost, HostsPerAccessGrouping) {
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  TreeParams params;
+  params.leaf_count = 40;
+  params.hosts_per_access = 4;
+  util::Rng rng(7);
+  const Tree tree = build_tree(network, rng, params);
+  EXPECT_EQ(tree.switches.size(), 10u);
+  // All four hosts of a cluster share the switch.
+  for (std::size_t i = 0; i < tree.leaf_hosts.size(); i += 4) {
+    for (std::size_t j = 1; j < 4; ++j) {
+      EXPECT_EQ(tree.leaf_switch[i], tree.leaf_switch[i + j]);
+    }
+  }
+}
+
+TEST(TreeRootFanout, InteriorChildrenBounded) {
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  TreeParams params;
+  params.leaf_count = 200;
+  params.root_interior_fanout = 5;
+  util::Rng rng(11);
+  const Tree tree = build_tree(network, rng, params);
+  // Root ports: 1 to gateway + interior children (<= 5) + depth-1 access
+  // routers.
+  int interior_children = 0;
+  const auto& root = network.node(tree.root);
+  for (std::size_t p = 0; p < root.port_count(); ++p) {
+    const auto& n = network.node(root.neighbor(p));
+    if (n.kind() != net::NodeKind::kRouter) continue;
+    if (n.id() == tree.gateway) continue;
+    const bool is_access =
+        std::find(tree.access_routers.begin(), tree.access_routers.end(),
+                  n.id()) != tree.access_routers.end();
+    if (!is_access) ++interior_children;
+  }
+  EXPECT_LE(interior_children, 5);
+}
+
+}  // namespace
+}  // namespace hbp::topo

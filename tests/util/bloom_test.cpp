@@ -1,0 +1,80 @@
+#include "util/bloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace hbp::util {
+namespace {
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter f(4096, 3);
+  Rng rng(1);
+  std::vector<std::uint64_t> items;
+  for (int i = 0; i < 200; ++i) items.push_back(rng.next_u64());
+  for (const auto x : items) f.insert(x);
+  for (const auto x : items) EXPECT_TRUE(f.maybe_contains(x));
+}
+
+TEST(BloomFilter, EmptyContainsNothing) {
+  BloomFilter f(1024, 3);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(f.maybe_contains(rng.next_u64()));
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTheory) {
+  BloomFilter f(1u << 14, 3);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) f.insert(rng.next_u64());
+  // Theoretical FP at this load: fill^k.
+  const double predicted = f.false_positive_rate();
+  int fp = 0;
+  const int probes = 50000;
+  for (int i = 0; i < probes; ++i) {
+    if (f.maybe_contains(rng.next_u64())) ++fp;
+  }
+  const double measured = static_cast<double>(fp) / probes;
+  EXPECT_NEAR(measured, predicted, 0.01);
+  EXPECT_GT(predicted, 0.0);
+  EXPECT_LT(predicted, 0.2);
+}
+
+TEST(BloomFilter, SaturationDrivesFpToOne) {
+  BloomFilter f(256, 3);
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) f.insert(rng.next_u64());
+  EXPECT_GT(f.fill_ratio(), 0.99);
+  int fp = 0;
+  for (int i = 0; i < 100; ++i) fp += f.maybe_contains(rng.next_u64()) ? 1 : 0;
+  EXPECT_GT(fp, 95);
+}
+
+TEST(BloomFilter, ClearResets) {
+  BloomFilter f(1024, 2);
+  f.insert(42);
+  EXPECT_TRUE(f.maybe_contains(42));
+  f.clear();
+  EXPECT_FALSE(f.maybe_contains(42));
+  EXPECT_EQ(f.inserted(), 0u);
+  EXPECT_DOUBLE_EQ(f.fill_ratio(), 0.0);
+}
+
+TEST(BloomFilter, ByteSizeRoundsUp) {
+  EXPECT_EQ(BloomFilter(8, 1).byte_size(), 1u);
+  EXPECT_EQ(BloomFilter(9, 1).byte_size(), 2u);
+  EXPECT_EQ(BloomFilter(1u << 16, 1).byte_size(), 8192u);
+}
+
+TEST(Mix64, DeterministicAndDispersive) {
+  EXPECT_EQ(mix64(123), mix64(123));
+  EXPECT_NE(mix64(123), mix64(124));
+  // Low bits of sequential inputs decorrelate.
+  int same_low_bit = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if ((mix64(i) & 1) == (mix64(i + 1) & 1)) ++same_low_bit;
+  }
+  EXPECT_NEAR(same_low_bit, 500, 100);
+}
+
+}  // namespace
+}  // namespace hbp::util

@@ -1,0 +1,164 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace hbp::util {
+namespace {
+
+TEST(SplitMix64, DeterministicAndNonTrivial) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  SplitMix64 c(43);
+  SplitMix64 d(42);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c.next() == d.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowIsBoundedAndCoversAll) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(6);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / 100000.0, 2.5, 0.05);
+}
+
+TEST(Rng, WeightedNeverPicksZeroWeight) {
+  Rng rng(8);
+  const std::vector<double> weights{0.0, 1.0, 0.0, 3.0};
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t pick = rng.weighted(weights);
+    ASSERT_TRUE(pick == 1 || pick == 3);
+  }
+}
+
+TEST(Rng, WeightedMatchesProportions) {
+  Rng rng(9);
+  const std::vector<double> weights{1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 100000; ++i) ones += rng.weighted(weights) == 1 ? 1 : 0;
+  EXPECT_NEAR(ones / 100000.0, 0.75, 0.01);
+}
+
+TEST(Rng, ChooseReturnsDistinctIndices) {
+  Rng rng(10);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto picked = rng.choose(10, 4);
+    ASSERT_EQ(picked.size(), 4u);
+    std::set<std::size_t> s(picked.begin(), picked.end());
+    ASSERT_EQ(s.size(), 4u);
+    for (const std::size_t v : picked) ASSERT_LT(v, 10u);
+  }
+}
+
+TEST(Rng, ChooseAllIsPermutation) {
+  Rng rng(11);
+  auto picked = rng.choose(6, 6);
+  std::sort(picked.begin(), picked.end());
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(picked[i], i);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(12);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(DeriveSeed, IndependentOfCallOrder) {
+  const std::uint64_t a1 = derive_seed(99, 1);
+  const std::uint64_t a2 = derive_seed(99, 2);
+  EXPECT_EQ(a1, derive_seed(99, 1));
+  EXPECT_NE(a1, a2);
+  EXPECT_NE(derive_seed(98, 1), a1);
+}
+
+// Property sweep: below(n) is unbiased enough across n.
+class RngBelowSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBelowSweep, RoughlyUniform) {
+  const std::uint64_t n = GetParam();
+  Rng rng(1000 + n);
+  std::vector<int> counts(n, 0);
+  const int draws = 20000 * static_cast<int>(n);
+  for (int i = 0; i < draws; ++i) ++counts[rng.below(n)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / draws, 1.0 / static_cast<double>(n),
+                0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RngBelowSweep,
+                         ::testing::Values(2, 3, 5, 7, 10));
+
+}  // namespace
+}  // namespace hbp::util

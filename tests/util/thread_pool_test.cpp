@@ -1,0 +1,58 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace hbp::util {
+namespace {
+
+TEST(ThreadPool, InlineWhenNoWorkers) {
+  ThreadPool pool(1);  // <=1 workers => inline execution
+  EXPECT_EQ(pool.worker_count(), 0u);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(50, [&](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 49 * 50 / 2);
+  }
+}
+
+TEST(ThreadPool, ZeroItemsNoCall) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, SingleItemRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+}  // namespace
+}  // namespace hbp::util
