@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_design_issues"
+  "../bench/ablation_design_issues.pdb"
+  "CMakeFiles/ablation_design_issues.dir/ablation_design_issues.cpp.o"
+  "CMakeFiles/ablation_design_issues.dir/ablation_design_issues.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_design_issues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

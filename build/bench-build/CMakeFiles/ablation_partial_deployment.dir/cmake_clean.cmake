@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_partial_deployment"
+  "../bench/ablation_partial_deployment.pdb"
+  "CMakeFiles/ablation_partial_deployment.dir/ablation_partial_deployment.cpp.o"
+  "CMakeFiles/ablation_partial_deployment.dir/ablation_partial_deployment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partial_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_progressive"
+  "../bench/ablation_progressive.pdb"
+  "CMakeFiles/ablation_progressive.dir/ablation_progressive.cpp.o"
+  "CMakeFiles/ablation_progressive.dir/ablation_progressive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_progressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

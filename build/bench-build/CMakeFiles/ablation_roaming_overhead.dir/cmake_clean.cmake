@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_roaming_overhead"
+  "../bench/ablation_roaming_overhead.pdb"
+  "CMakeFiles/ablation_roaming_overhead.dir/ablation_roaming_overhead.cpp.o"
+  "CMakeFiles/ablation_roaming_overhead.dir/ablation_roaming_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_roaming_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tcp_impact"
+  "../bench/ablation_tcp_impact.pdb"
+  "CMakeFiles/ablation_tcp_impact.dir/ablation_tcp_impact.cpp.o"
+  "CMakeFiles/ablation_tcp_impact.dir/ablation_tcp_impact.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tcp_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

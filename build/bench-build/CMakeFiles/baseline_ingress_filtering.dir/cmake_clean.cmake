@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_ingress_filtering"
+  "../bench/baseline_ingress_filtering.pdb"
+  "CMakeFiles/baseline_ingress_filtering.dir/baseline_ingress_filtering.cpp.o"
+  "CMakeFiles/baseline_ingress_filtering.dir/baseline_ingress_filtering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_ingress_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

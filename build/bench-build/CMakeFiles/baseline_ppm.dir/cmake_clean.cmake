@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_ppm"
+  "../bench/baseline_ppm.pdb"
+  "CMakeFiles/baseline_ppm.dir/baseline_ppm.cpp.o"
+  "CMakeFiles/baseline_ppm.dir/baseline_ppm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_ppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

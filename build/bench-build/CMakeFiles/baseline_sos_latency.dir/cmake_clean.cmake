@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_sos_latency"
+  "../bench/baseline_sos_latency.pdb"
+  "CMakeFiles/baseline_sos_latency.dir/baseline_sos_latency.cpp.o"
+  "CMakeFiles/baseline_sos_latency.dir/baseline_sos_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_sos_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

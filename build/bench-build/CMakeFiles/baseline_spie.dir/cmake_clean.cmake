@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_spie"
+  "../bench/baseline_spie.pdb"
+  "CMakeFiles/baseline_spie.dir/baseline_spie.cpp.o"
+  "CMakeFiles/baseline_spie.dir/baseline_spie.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_spie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

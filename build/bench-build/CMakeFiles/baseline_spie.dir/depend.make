@@ -1,0 +1,2 @@
+# Empty dependencies file for baseline_spie.
+# This may be replaced when dependencies are built.

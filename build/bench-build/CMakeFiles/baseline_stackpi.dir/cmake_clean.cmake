@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_stackpi"
+  "../bench/baseline_stackpi.pdb"
+  "CMakeFiles/baseline_stackpi.dir/baseline_stackpi.cpp.o"
+  "CMakeFiles/baseline_stackpi.dir/baseline_stackpi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_stackpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

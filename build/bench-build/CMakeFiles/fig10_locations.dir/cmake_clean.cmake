@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_locations"
+  "../bench/fig10_locations.pdb"
+  "CMakeFiles/fig10_locations.dir/fig10_locations.cpp.o"
+  "CMakeFiles/fig10_locations.dir/fig10_locations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

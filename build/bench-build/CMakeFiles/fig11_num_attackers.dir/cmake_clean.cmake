@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_num_attackers"
+  "../bench/fig11_num_attackers.pdb"
+  "CMakeFiles/fig11_num_attackers.dir/fig11_num_attackers.cpp.o"
+  "CMakeFiles/fig11_num_attackers.dir/fig11_num_attackers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_num_attackers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

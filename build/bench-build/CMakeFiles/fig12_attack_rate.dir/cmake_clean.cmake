@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_attack_rate"
+  "../bench/fig12_attack_rate.pdb"
+  "CMakeFiles/fig12_attack_rate.dir/fig12_attack_rate.cpp.o"
+  "CMakeFiles/fig12_attack_rate.dir/fig12_attack_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_attack_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_analysis"
+  "../bench/fig5_analysis.pdb"
+  "CMakeFiles/fig5_analysis.dir/fig5_analysis.cpp.o"
+  "CMakeFiles/fig5_analysis.dir/fig5_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

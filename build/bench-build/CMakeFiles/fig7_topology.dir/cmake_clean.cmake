@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_topology"
+  "../bench/fig7_topology.pdb"
+  "CMakeFiles/fig7_topology.dir/fig7_topology.cpp.o"
+  "CMakeFiles/fig7_topology.dir/fig7_topology.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_timeplot"
+  "../bench/fig8_timeplot.pdb"
+  "CMakeFiles/fig8_timeplot.dir/fig8_timeplot.cpp.o"
+  "CMakeFiles/fig8_timeplot.dir/fig8_timeplot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_timeplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

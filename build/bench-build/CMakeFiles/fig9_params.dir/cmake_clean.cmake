@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_params"
+  "../bench/fig9_params.pdb"
+  "CMakeFiles/fig9_params.dir/fig9_params.cpp.o"
+  "CMakeFiles/fig9_params.dir/fig9_params.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/low_rate_onoff.dir/low_rate_onoff.cpp.o"
+  "CMakeFiles/low_rate_onoff.dir/low_rate_onoff.cpp.o.d"
+  "low_rate_onoff"
+  "low_rate_onoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/low_rate_onoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for low_rate_onoff.
+# This may be replaced when dependencies are built.

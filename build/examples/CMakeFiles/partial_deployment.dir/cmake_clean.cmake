@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_deployment.dir/partial_deployment.cpp.o"
+  "CMakeFiles/partial_deployment.dir/partial_deployment.cpp.o.d"
+  "partial_deployment"
+  "partial_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

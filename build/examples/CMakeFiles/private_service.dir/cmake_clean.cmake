@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_service.dir/private_service.cpp.o"
+  "CMakeFiles/private_service.dir/private_service.cpp.o.d"
+  "private_service"
+  "private_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_download.dir/tcp_download.cpp.o"
+  "CMakeFiles/tcp_download.dir/tcp_download.cpp.o.d"
+  "tcp_download"
+  "tcp_download.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

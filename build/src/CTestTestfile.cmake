@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("net")
+subdirs("topo")
+subdirs("traffic")
+subdirs("honeypot")
+subdirs("pushback")
+subdirs("core")
+subdirs("analysis")
+subdirs("transport")
+subdirs("marking")
+subdirs("scenario")

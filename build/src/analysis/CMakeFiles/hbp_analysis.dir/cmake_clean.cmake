@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbp_analysis.dir/capture_time.cpp.o"
+  "CMakeFiles/hbp_analysis.dir/capture_time.cpp.o.d"
+  "libhbp_analysis.a"
+  "libhbp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/defense.cpp" "src/core/CMakeFiles/hbp_core.dir/defense.cpp.o" "gcc" "src/core/CMakeFiles/hbp_core.dir/defense.cpp.o.d"
+  "/root/repo/src/core/hsm.cpp" "src/core/CMakeFiles/hbp_core.dir/hsm.cpp.o" "gcc" "src/core/CMakeFiles/hbp_core.dir/hsm.cpp.o.d"
+  "/root/repo/src/core/messages.cpp" "src/core/CMakeFiles/hbp_core.dir/messages.cpp.o" "gcc" "src/core/CMakeFiles/hbp_core.dir/messages.cpp.o.d"
+  "/root/repo/src/core/progressive.cpp" "src/core/CMakeFiles/hbp_core.dir/progressive.cpp.o" "gcc" "src/core/CMakeFiles/hbp_core.dir/progressive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/honeypot/CMakeFiles/hbp_honeypot.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hbp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hbp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hbp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/hbp_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/hbp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hbp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbp_core.dir/defense.cpp.o"
+  "CMakeFiles/hbp_core.dir/defense.cpp.o.d"
+  "CMakeFiles/hbp_core.dir/hsm.cpp.o"
+  "CMakeFiles/hbp_core.dir/hsm.cpp.o.d"
+  "CMakeFiles/hbp_core.dir/messages.cpp.o"
+  "CMakeFiles/hbp_core.dir/messages.cpp.o.d"
+  "CMakeFiles/hbp_core.dir/progressive.cpp.o"
+  "CMakeFiles/hbp_core.dir/progressive.cpp.o.d"
+  "libhbp_core.a"
+  "libhbp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/honeypot/blacklist.cpp" "src/honeypot/CMakeFiles/hbp_honeypot.dir/blacklist.cpp.o" "gcc" "src/honeypot/CMakeFiles/hbp_honeypot.dir/blacklist.cpp.o.d"
+  "/root/repo/src/honeypot/checkpoint.cpp" "src/honeypot/CMakeFiles/hbp_honeypot.dir/checkpoint.cpp.o" "gcc" "src/honeypot/CMakeFiles/hbp_honeypot.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/honeypot/client.cpp" "src/honeypot/CMakeFiles/hbp_honeypot.dir/client.cpp.o" "gcc" "src/honeypot/CMakeFiles/hbp_honeypot.dir/client.cpp.o.d"
+  "/root/repo/src/honeypot/hash_chain.cpp" "src/honeypot/CMakeFiles/hbp_honeypot.dir/hash_chain.cpp.o" "gcc" "src/honeypot/CMakeFiles/hbp_honeypot.dir/hash_chain.cpp.o.d"
+  "/root/repo/src/honeypot/schedule.cpp" "src/honeypot/CMakeFiles/hbp_honeypot.dir/schedule.cpp.o" "gcc" "src/honeypot/CMakeFiles/hbp_honeypot.dir/schedule.cpp.o.d"
+  "/root/repo/src/honeypot/server_pool.cpp" "src/honeypot/CMakeFiles/hbp_honeypot.dir/server_pool.cpp.o" "gcc" "src/honeypot/CMakeFiles/hbp_honeypot.dir/server_pool.cpp.o.d"
+  "/root/repo/src/honeypot/subscription.cpp" "src/honeypot/CMakeFiles/hbp_honeypot.dir/subscription.cpp.o" "gcc" "src/honeypot/CMakeFiles/hbp_honeypot.dir/subscription.cpp.o.d"
+  "/root/repo/src/honeypot/tcp_client.cpp" "src/honeypot/CMakeFiles/hbp_honeypot.dir/tcp_client.cpp.o" "gcc" "src/honeypot/CMakeFiles/hbp_honeypot.dir/tcp_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hbp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/hbp_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/hbp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hbp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hbp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

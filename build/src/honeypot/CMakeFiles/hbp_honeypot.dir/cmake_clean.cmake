@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbp_honeypot.dir/blacklist.cpp.o"
+  "CMakeFiles/hbp_honeypot.dir/blacklist.cpp.o.d"
+  "CMakeFiles/hbp_honeypot.dir/checkpoint.cpp.o"
+  "CMakeFiles/hbp_honeypot.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/hbp_honeypot.dir/client.cpp.o"
+  "CMakeFiles/hbp_honeypot.dir/client.cpp.o.d"
+  "CMakeFiles/hbp_honeypot.dir/hash_chain.cpp.o"
+  "CMakeFiles/hbp_honeypot.dir/hash_chain.cpp.o.d"
+  "CMakeFiles/hbp_honeypot.dir/schedule.cpp.o"
+  "CMakeFiles/hbp_honeypot.dir/schedule.cpp.o.d"
+  "CMakeFiles/hbp_honeypot.dir/server_pool.cpp.o"
+  "CMakeFiles/hbp_honeypot.dir/server_pool.cpp.o.d"
+  "CMakeFiles/hbp_honeypot.dir/subscription.cpp.o"
+  "CMakeFiles/hbp_honeypot.dir/subscription.cpp.o.d"
+  "CMakeFiles/hbp_honeypot.dir/tcp_client.cpp.o"
+  "CMakeFiles/hbp_honeypot.dir/tcp_client.cpp.o.d"
+  "libhbp_honeypot.a"
+  "libhbp_honeypot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbp_honeypot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/marking/ingress_filter.cpp" "src/marking/CMakeFiles/hbp_marking.dir/ingress_filter.cpp.o" "gcc" "src/marking/CMakeFiles/hbp_marking.dir/ingress_filter.cpp.o.d"
+  "/root/repo/src/marking/ppm.cpp" "src/marking/CMakeFiles/hbp_marking.dir/ppm.cpp.o" "gcc" "src/marking/CMakeFiles/hbp_marking.dir/ppm.cpp.o.d"
+  "/root/repo/src/marking/spie.cpp" "src/marking/CMakeFiles/hbp_marking.dir/spie.cpp.o" "gcc" "src/marking/CMakeFiles/hbp_marking.dir/spie.cpp.o.d"
+  "/root/repo/src/marking/stackpi.cpp" "src/marking/CMakeFiles/hbp_marking.dir/stackpi.cpp.o" "gcc" "src/marking/CMakeFiles/hbp_marking.dir/stackpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hbp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hbp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hbp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

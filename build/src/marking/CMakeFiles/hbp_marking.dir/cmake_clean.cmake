@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbp_marking.dir/ingress_filter.cpp.o"
+  "CMakeFiles/hbp_marking.dir/ingress_filter.cpp.o.d"
+  "CMakeFiles/hbp_marking.dir/ppm.cpp.o"
+  "CMakeFiles/hbp_marking.dir/ppm.cpp.o.d"
+  "CMakeFiles/hbp_marking.dir/spie.cpp.o"
+  "CMakeFiles/hbp_marking.dir/spie.cpp.o.d"
+  "CMakeFiles/hbp_marking.dir/stackpi.cpp.o"
+  "CMakeFiles/hbp_marking.dir/stackpi.cpp.o.d"
+  "libhbp_marking.a"
+  "libhbp_marking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbp_marking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hbp_marking.
+# This may be replaced when dependencies are built.

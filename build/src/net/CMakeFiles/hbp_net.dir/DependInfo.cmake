@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/control_plane.cpp" "src/net/CMakeFiles/hbp_net.dir/control_plane.cpp.o" "gcc" "src/net/CMakeFiles/hbp_net.dir/control_plane.cpp.o.d"
+  "/root/repo/src/net/host.cpp" "src/net/CMakeFiles/hbp_net.dir/host.cpp.o" "gcc" "src/net/CMakeFiles/hbp_net.dir/host.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/hbp_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/hbp_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/hbp_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/hbp_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/net/CMakeFiles/hbp_net.dir/queue.cpp.o" "gcc" "src/net/CMakeFiles/hbp_net.dir/queue.cpp.o.d"
+  "/root/repo/src/net/router.cpp" "src/net/CMakeFiles/hbp_net.dir/router.cpp.o" "gcc" "src/net/CMakeFiles/hbp_net.dir/router.cpp.o.d"
+  "/root/repo/src/net/switch_node.cpp" "src/net/CMakeFiles/hbp_net.dir/switch_node.cpp.o" "gcc" "src/net/CMakeFiles/hbp_net.dir/switch_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbp_net.dir/control_plane.cpp.o"
+  "CMakeFiles/hbp_net.dir/control_plane.cpp.o.d"
+  "CMakeFiles/hbp_net.dir/host.cpp.o"
+  "CMakeFiles/hbp_net.dir/host.cpp.o.d"
+  "CMakeFiles/hbp_net.dir/link.cpp.o"
+  "CMakeFiles/hbp_net.dir/link.cpp.o.d"
+  "CMakeFiles/hbp_net.dir/network.cpp.o"
+  "CMakeFiles/hbp_net.dir/network.cpp.o.d"
+  "CMakeFiles/hbp_net.dir/queue.cpp.o"
+  "CMakeFiles/hbp_net.dir/queue.cpp.o.d"
+  "CMakeFiles/hbp_net.dir/router.cpp.o"
+  "CMakeFiles/hbp_net.dir/router.cpp.o.d"
+  "CMakeFiles/hbp_net.dir/switch_node.cpp.o"
+  "CMakeFiles/hbp_net.dir/switch_node.cpp.o.d"
+  "libhbp_net.a"
+  "libhbp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

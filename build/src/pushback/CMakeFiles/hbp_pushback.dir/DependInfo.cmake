@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pushback/agent.cpp" "src/pushback/CMakeFiles/hbp_pushback.dir/agent.cpp.o" "gcc" "src/pushback/CMakeFiles/hbp_pushback.dir/agent.cpp.o.d"
+  "/root/repo/src/pushback/maxmin.cpp" "src/pushback/CMakeFiles/hbp_pushback.dir/maxmin.cpp.o" "gcc" "src/pushback/CMakeFiles/hbp_pushback.dir/maxmin.cpp.o.d"
+  "/root/repo/src/pushback/token_bucket.cpp" "src/pushback/CMakeFiles/hbp_pushback.dir/token_bucket.cpp.o" "gcc" "src/pushback/CMakeFiles/hbp_pushback.dir/token_bucket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hbp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hbp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hbp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

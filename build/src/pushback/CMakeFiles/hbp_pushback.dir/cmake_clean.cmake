@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbp_pushback.dir/agent.cpp.o"
+  "CMakeFiles/hbp_pushback.dir/agent.cpp.o.d"
+  "CMakeFiles/hbp_pushback.dir/maxmin.cpp.o"
+  "CMakeFiles/hbp_pushback.dir/maxmin.cpp.o.d"
+  "CMakeFiles/hbp_pushback.dir/token_bucket.cpp.o"
+  "CMakeFiles/hbp_pushback.dir/token_bucket.cpp.o.d"
+  "libhbp_pushback.a"
+  "libhbp_pushback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbp_pushback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

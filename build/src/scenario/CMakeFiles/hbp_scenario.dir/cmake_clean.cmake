@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbp_scenario.dir/metrics.cpp.o"
+  "CMakeFiles/hbp_scenario.dir/metrics.cpp.o.d"
+  "CMakeFiles/hbp_scenario.dir/string_experiment.cpp.o"
+  "CMakeFiles/hbp_scenario.dir/string_experiment.cpp.o.d"
+  "CMakeFiles/hbp_scenario.dir/tree_experiment.cpp.o"
+  "CMakeFiles/hbp_scenario.dir/tree_experiment.cpp.o.d"
+  "libhbp_scenario.a"
+  "libhbp_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbp_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbp_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/hbp_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/hbp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hbp_sim.dir/simulator.cpp.o.d"
+  "libhbp_sim.a"
+  "libhbp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

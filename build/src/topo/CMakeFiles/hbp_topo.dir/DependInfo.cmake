@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/as_map.cpp" "src/topo/CMakeFiles/hbp_topo.dir/as_map.cpp.o" "gcc" "src/topo/CMakeFiles/hbp_topo.dir/as_map.cpp.o.d"
+  "/root/repo/src/topo/distributions.cpp" "src/topo/CMakeFiles/hbp_topo.dir/distributions.cpp.o" "gcc" "src/topo/CMakeFiles/hbp_topo.dir/distributions.cpp.o.d"
+  "/root/repo/src/topo/string_topo.cpp" "src/topo/CMakeFiles/hbp_topo.dir/string_topo.cpp.o" "gcc" "src/topo/CMakeFiles/hbp_topo.dir/string_topo.cpp.o.d"
+  "/root/repo/src/topo/tree.cpp" "src/topo/CMakeFiles/hbp_topo.dir/tree.cpp.o" "gcc" "src/topo/CMakeFiles/hbp_topo.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hbp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hbp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hbp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbp_topo.dir/as_map.cpp.o"
+  "CMakeFiles/hbp_topo.dir/as_map.cpp.o.d"
+  "CMakeFiles/hbp_topo.dir/distributions.cpp.o"
+  "CMakeFiles/hbp_topo.dir/distributions.cpp.o.d"
+  "CMakeFiles/hbp_topo.dir/string_topo.cpp.o"
+  "CMakeFiles/hbp_topo.dir/string_topo.cpp.o.d"
+  "CMakeFiles/hbp_topo.dir/tree.cpp.o"
+  "CMakeFiles/hbp_topo.dir/tree.cpp.o.d"
+  "libhbp_topo.a"
+  "libhbp_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbp_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

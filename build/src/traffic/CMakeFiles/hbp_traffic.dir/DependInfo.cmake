@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/cbr.cpp" "src/traffic/CMakeFiles/hbp_traffic.dir/cbr.cpp.o" "gcc" "src/traffic/CMakeFiles/hbp_traffic.dir/cbr.cpp.o.d"
+  "/root/repo/src/traffic/follower.cpp" "src/traffic/CMakeFiles/hbp_traffic.dir/follower.cpp.o" "gcc" "src/traffic/CMakeFiles/hbp_traffic.dir/follower.cpp.o.d"
+  "/root/repo/src/traffic/onoff.cpp" "src/traffic/CMakeFiles/hbp_traffic.dir/onoff.cpp.o" "gcc" "src/traffic/CMakeFiles/hbp_traffic.dir/onoff.cpp.o.d"
+  "/root/repo/src/traffic/probe.cpp" "src/traffic/CMakeFiles/hbp_traffic.dir/probe.cpp.o" "gcc" "src/traffic/CMakeFiles/hbp_traffic.dir/probe.cpp.o.d"
+  "/root/repo/src/traffic/spoof.cpp" "src/traffic/CMakeFiles/hbp_traffic.dir/spoof.cpp.o" "gcc" "src/traffic/CMakeFiles/hbp_traffic.dir/spoof.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hbp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hbp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hbp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

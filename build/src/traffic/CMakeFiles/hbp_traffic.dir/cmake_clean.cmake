@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbp_traffic.dir/cbr.cpp.o"
+  "CMakeFiles/hbp_traffic.dir/cbr.cpp.o.d"
+  "CMakeFiles/hbp_traffic.dir/follower.cpp.o"
+  "CMakeFiles/hbp_traffic.dir/follower.cpp.o.d"
+  "CMakeFiles/hbp_traffic.dir/onoff.cpp.o"
+  "CMakeFiles/hbp_traffic.dir/onoff.cpp.o.d"
+  "CMakeFiles/hbp_traffic.dir/probe.cpp.o"
+  "CMakeFiles/hbp_traffic.dir/probe.cpp.o.d"
+  "CMakeFiles/hbp_traffic.dir/spoof.cpp.o"
+  "CMakeFiles/hbp_traffic.dir/spoof.cpp.o.d"
+  "libhbp_traffic.a"
+  "libhbp_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbp_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

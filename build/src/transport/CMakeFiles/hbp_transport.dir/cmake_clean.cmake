@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbp_transport.dir/tcp.cpp.o"
+  "CMakeFiles/hbp_transport.dir/tcp.cpp.o.d"
+  "libhbp_transport.a"
+  "libhbp_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbp_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhbp_transport.a"
+)

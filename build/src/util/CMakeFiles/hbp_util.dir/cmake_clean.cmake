@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbp_util.dir/bloom.cpp.o"
+  "CMakeFiles/hbp_util.dir/bloom.cpp.o.d"
+  "CMakeFiles/hbp_util.dir/flags.cpp.o"
+  "CMakeFiles/hbp_util.dir/flags.cpp.o.d"
+  "CMakeFiles/hbp_util.dir/rng.cpp.o"
+  "CMakeFiles/hbp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hbp_util.dir/sha256.cpp.o"
+  "CMakeFiles/hbp_util.dir/sha256.cpp.o.d"
+  "CMakeFiles/hbp_util.dir/stats.cpp.o"
+  "CMakeFiles/hbp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hbp_util.dir/table.cpp.o"
+  "CMakeFiles/hbp_util.dir/table.cpp.o.d"
+  "CMakeFiles/hbp_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/hbp_util.dir/thread_pool.cpp.o.d"
+  "libhbp_util.a"
+  "libhbp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

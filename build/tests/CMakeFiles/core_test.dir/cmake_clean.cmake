@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/deployment_window_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/deployment_window_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/hbp_end_to_end_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/hbp_end_to_end_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/messages_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/messages_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/progressive_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/progressive_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/robustness_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/robustness_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/honeypot_test.dir/honeypot/hash_chain_test.cpp.o"
+  "CMakeFiles/honeypot_test.dir/honeypot/hash_chain_test.cpp.o.d"
+  "CMakeFiles/honeypot_test.dir/honeypot/pool_client_test.cpp.o"
+  "CMakeFiles/honeypot_test.dir/honeypot/pool_client_test.cpp.o.d"
+  "CMakeFiles/honeypot_test.dir/honeypot/schedule_test.cpp.o"
+  "CMakeFiles/honeypot_test.dir/honeypot/schedule_test.cpp.o.d"
+  "CMakeFiles/honeypot_test.dir/honeypot/subscription_blacklist_test.cpp.o"
+  "CMakeFiles/honeypot_test.dir/honeypot/subscription_blacklist_test.cpp.o.d"
+  "CMakeFiles/honeypot_test.dir/honeypot/tcp_client_test.cpp.o"
+  "CMakeFiles/honeypot_test.dir/honeypot/tcp_client_test.cpp.o.d"
+  "CMakeFiles/honeypot_test.dir/honeypot/window_sweep_test.cpp.o"
+  "CMakeFiles/honeypot_test.dir/honeypot/window_sweep_test.cpp.o.d"
+  "honeypot_test"
+  "honeypot_test.pdb"
+  "honeypot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/honeypot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

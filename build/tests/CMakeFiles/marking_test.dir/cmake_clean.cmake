@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marking_test.dir/marking/ingress_filter_test.cpp.o"
+  "CMakeFiles/marking_test.dir/marking/ingress_filter_test.cpp.o.d"
+  "CMakeFiles/marking_test.dir/marking/ppm_collector_test.cpp.o"
+  "CMakeFiles/marking_test.dir/marking/ppm_collector_test.cpp.o.d"
+  "CMakeFiles/marking_test.dir/marking/ppm_test.cpp.o"
+  "CMakeFiles/marking_test.dir/marking/ppm_test.cpp.o.d"
+  "CMakeFiles/marking_test.dir/marking/spie_test.cpp.o"
+  "CMakeFiles/marking_test.dir/marking/spie_test.cpp.o.d"
+  "CMakeFiles/marking_test.dir/marking/stackpi_test.cpp.o"
+  "CMakeFiles/marking_test.dir/marking/stackpi_test.cpp.o.d"
+  "marking_test"
+  "marking_test.pdb"
+  "marking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_test.dir/net/control_plane_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/control_plane_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/link_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/link_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/network_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/network_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/queue_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/queue_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/router_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/router_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/switch_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/switch_test.cpp.o.d"
+  "net_test"
+  "net_test.pdb"
+  "net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

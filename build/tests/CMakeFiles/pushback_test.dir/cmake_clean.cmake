@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushback_test.dir/pushback/agent_test.cpp.o"
+  "CMakeFiles/pushback_test.dir/pushback/agent_test.cpp.o.d"
+  "CMakeFiles/pushback_test.dir/pushback/maxmin_test.cpp.o"
+  "CMakeFiles/pushback_test.dir/pushback/maxmin_test.cpp.o.d"
+  "CMakeFiles/pushback_test.dir/pushback/token_bucket_test.cpp.o"
+  "CMakeFiles/pushback_test.dir/pushback/token_bucket_test.cpp.o.d"
+  "pushback_test"
+  "pushback_test.pdb"
+  "pushback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_test.dir/topo/distributions_test.cpp.o"
+  "CMakeFiles/topo_test.dir/topo/distributions_test.cpp.o.d"
+  "CMakeFiles/topo_test.dir/topo/string_test.cpp.o"
+  "CMakeFiles/topo_test.dir/topo/string_test.cpp.o.d"
+  "CMakeFiles/topo_test.dir/topo/tree_test.cpp.o"
+  "CMakeFiles/topo_test.dir/topo/tree_test.cpp.o.d"
+  "topo_test"
+  "topo_test.pdb"
+  "topo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

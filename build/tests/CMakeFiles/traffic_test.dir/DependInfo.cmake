@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/traffic/traffic_test.cpp" "tests/CMakeFiles/traffic_test.dir/traffic/traffic_test.cpp.o" "gcc" "tests/CMakeFiles/traffic_test.dir/traffic/traffic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/hbp_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pushback/CMakeFiles/hbp_pushback.dir/DependInfo.cmake"
+  "/root/repo/build/src/honeypot/CMakeFiles/hbp_honeypot.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hbp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/hbp_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/hbp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/marking/CMakeFiles/hbp_marking.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hbp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hbp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hbp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
