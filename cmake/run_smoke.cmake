@@ -1,0 +1,26 @@
+# Smoke-test driver: runs one binary and fails unless it exits 0 and prints
+# something.  Invoked by the smoke_* ctest entries registered in
+# bench/CMakeLists.txt and examples/CMakeLists.txt:
+#
+#   cmake -DSMOKE_BIN=<binary> "-DSMOKE_ARGS=--a=1;--b=2" -P run_smoke.cmake
+if(NOT DEFINED SMOKE_BIN)
+  message(FATAL_ERROR "SMOKE_BIN not set")
+endif()
+
+execute_process(
+  COMMAND ${SMOKE_BIN} ${SMOKE_ARGS}
+  RESULT_VARIABLE code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR
+    "${SMOKE_BIN} exited with ${code}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+string(STRIP "${out}" stripped)
+if(stripped STREQUAL "")
+  message(FATAL_ERROR "${SMOKE_BIN} produced no output\nstderr:\n${err}")
+endif()
+
+message(STATUS "${SMOKE_BIN} OK (${SMOKE_ARGS})")

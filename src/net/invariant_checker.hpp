@@ -1,0 +1,75 @@
+// Always-available audit of the simulation core's accounting invariants.
+//
+// The Network and its links already maintain cheap counters on every packet
+// transition; this checker cross-validates them:
+//
+//   C1  every transmitted packet was either accepted by a queue or dropped
+//       by it:  transmitted == Σ accepted + Σ queue drops
+//   C2  the network-level delivery counter matches the per-link ones
+//   C3  per link, accepted >= delivered (in-flight is non-negative), and
+//       globally  transmitted == delivered + queue drops + in-flight
+//   C4  per queue, the byte ledger is sane: byte_length >= 0 and an empty
+//       queue holds zero bytes; strict mode recounts the stored packets and
+//       demands an exact match
+//   C5  the clock never moves backwards between checks, and no pending
+//       event is scheduled before now (the Simulator additionally enforces
+//       this with HBP_ASSERT at scheduling time)
+//
+// check() walks counters only (O(links)); it allocates nothing when the
+// network is healthy.  check_quiescent() additionally demands that nothing
+// is left in flight — valid once traffic has drained (after run_all()).
+//
+// Violations are returned as strings instead of aborting so tests can
+// assert that intentionally broken fixtures are detected; expect_ok() is
+// the aborting flavour scenarios use as a correctness ratchet.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace hbp::net {
+
+class Network;
+
+class InvariantChecker {
+ public:
+  struct Options {
+    // Strict mode re-walks every queue's contents to verify the byte
+    // ledger; O(packets queued) instead of O(links).
+    bool strict = false;
+  };
+
+  explicit InvariantChecker(Network& network)
+      : InvariantChecker(network, Options()) {}
+  InvariantChecker(Network& network, Options options);
+
+  // Runs all checks; returns human-readable violations (empty == healthy).
+  std::vector<std::string> check();
+
+  // check() plus "no packets remain in flight anywhere".
+  std::vector<std::string> check_quiescent();
+
+  // Aborts via HBP_ASSERT on the first violation.
+  void expect_ok();
+
+  // Re-runs expect_ok() every `interval` for as long as other events remain
+  // pending, then stops (so it never keeps an otherwise-drained simulation
+  // alive).
+  void watch(sim::SimTime interval);
+
+  std::uint64_t checks_run() const { return checks_; }
+
+ private:
+  void check_into(std::vector<std::string>& out, bool require_quiescent);
+
+  Network& network_;
+  Options options_;
+  sim::SimTime last_now_ = sim::SimTime::zero();
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace hbp::net

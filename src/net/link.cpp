@@ -22,8 +22,12 @@ Link::Link(sim::Simulator& simulator, Network& network, sim::NodeId to_node,
 }
 
 void Link::send(sim::Packet&& p) {
+  const std::uint64_t uid = p.uid;
   if (!queue_->enqueue(std::move(p))) {
-    return;  // dropped; counted by the queue
+    // Dropped; counted by the queue, fingerprinted here.
+    simulator_.trace().fold(simulator_.now(), sim::TraceKind::kQueueDrop,
+                            to_node_, uid);
+    return;
   }
   if (!transmitting_) start_transmission();
 }

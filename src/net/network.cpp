@@ -94,13 +94,27 @@ void Network::transmit(sim::NodeId from, int port, sim::Packet&& p) {
   HBP_ASSERT(port >= 0 &&
              static_cast<std::size_t>(port) < links_[static_cast<std::size_t>(from)].size());
   ++counters_.transmitted;
+  simulator_.trace().fold(simulator_.now(), sim::TraceKind::kTransmit, from,
+                          p.uid);
   links_[static_cast<std::size_t>(from)][static_cast<std::size_t>(port)]->send(
       std::move(p));
 }
 
 void Network::deliver(sim::NodeId to, sim::Packet&& p, int in_port) {
   ++counters_.delivered;
+  simulator_.trace().fold(simulator_.now(), sim::TraceKind::kDeliver, to, p.uid);
   node(to).receive(std::move(p), in_port);
+}
+
+void Network::drop_ttl(const sim::Packet& p, sim::NodeId at) {
+  ++counters_.dropped_ttl;
+  simulator_.trace().fold(simulator_.now(), sim::TraceKind::kTtlDrop, at, p.uid);
+}
+
+void Network::drop_filter(const sim::Packet& p, sim::NodeId at) {
+  ++counters_.dropped_filter;
+  simulator_.trace().fold(simulator_.now(), sim::TraceKind::kFilterDrop, at,
+                          p.uid);
 }
 
 std::uint64_t Network::total_queue_drops() const {

@@ -71,6 +71,12 @@ class Network {
   Link& link(sim::NodeId from, int port) {
     return *links_[static_cast<std::size_t>(from)][static_cast<std::size_t>(port)];
   }
+  const Link& link(sim::NodeId from, int port) const {
+    return *links_[static_cast<std::size_t>(from)][static_cast<std::size_t>(port)];
+  }
+  std::size_t link_count(sim::NodeId from) const {
+    return links_[static_cast<std::size_t>(from)].size();
+  }
 
   // --- data plane ---
 
@@ -79,6 +85,12 @@ class Network {
 
   // Called by links when a packet finishes propagation.
   void deliver(sim::NodeId to, sim::Packet&& p, int in_port);
+
+  // Drop accounting entry points: count the drop and fold it into the run's
+  // trace digest.  Routers call these instead of touching counters directly
+  // so every terminal packet fate is fingerprinted.
+  void drop_ttl(const sim::Packet& p, sim::NodeId at);
+  void drop_filter(const sim::Packet& p, sim::NodeId at);
 
   std::uint64_t next_packet_uid() { return ++uid_counter_; }
 

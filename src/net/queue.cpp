@@ -29,6 +29,12 @@ std::optional<sim::Packet> DropTailQueue::dequeue() {
   return p;
 }
 
+std::int64_t DropTailQueue::recount_bytes() const {
+  std::int64_t total = 0;
+  for (const sim::Packet& p : q_) total += p.size_bytes;
+  return total;
+}
+
 RedQueue::RedQueue(const Params& params)
     : params_(params), rng_state_(params.seed | 1) {
   HBP_ASSERT(params.min_th_bytes < params.max_th_bytes);
@@ -87,6 +93,12 @@ std::optional<sim::Packet> RedQueue::dequeue() {
   bytes_ -= p.size_bytes;
   HBP_ASSERT(bytes_ >= 0);
   return p;
+}
+
+std::int64_t RedQueue::recount_bytes() const {
+  std::int64_t total = 0;
+  for (const sim::Packet& p : q_) total += p.size_bytes;
+  return total;
 }
 
 QueueFactory droptail_factory(std::int64_t capacity_bytes) {

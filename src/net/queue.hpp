@@ -28,6 +28,11 @@ class PacketQueue {
   virtual std::int64_t byte_length() const = 0;
   virtual std::size_t packet_length() const = 0;
 
+  // Recomputes the queued byte total by walking the stored packets (strict
+  // invariant audits cross-check it against byte_length()).  Disciplines
+  // that cannot enumerate their contents fall back to byte_length().
+  virtual std::int64_t recount_bytes() const { return byte_length(); }
+
   std::uint64_t drops() const { return drops_; }
   std::uint64_t accepted() const { return accepted_; }
 
@@ -55,6 +60,7 @@ class DropTailQueue final : public PacketQueue {
   std::optional<sim::Packet> dequeue() override;
   std::int64_t byte_length() const override { return bytes_; }
   std::size_t packet_length() const override { return q_.size(); }
+  std::int64_t recount_bytes() const override;
 
  private:
   std::int64_t capacity_bytes_;
@@ -82,6 +88,7 @@ class RedQueue final : public PacketQueue {
   std::optional<sim::Packet> dequeue() override;
   std::int64_t byte_length() const override { return bytes_; }
   std::size_t packet_length() const override { return q_.size(); }
+  std::int64_t recount_bytes() const override;
 
   double average_bytes() const { return avg_; }
 

@@ -23,7 +23,7 @@ void Router::remove_mutator(PacketMutator* mutator) {
 
 void Router::receive(sim::Packet&& p, int in_port) {
   if (p.ttl == 0) {
-    ++network().counters().dropped_ttl;
+    network().drop_ttl(p, id());
     return;
   }
   p.ttl -= 1;
@@ -35,7 +35,7 @@ void Router::receive(sim::Packet&& p, int in_port) {
       case FilterAction::kPass:
         break;
       case FilterAction::kDrop:
-        ++network().counters().dropped_filter;
+        network().drop_filter(p, id());
         return;
       case FilterAction::kConsume:
         return;
@@ -44,7 +44,7 @@ void Router::receive(sim::Packet&& p, int in_port) {
 
   const int out_port = network().route_port(id(), p.dst);
   if (out_port < 0) {
-    ++network().counters().dropped_filter;  // unroutable
+    network().drop_filter(p, id());  // unroutable
     return;
   }
 

@@ -8,7 +8,7 @@ namespace hbp::net {
 void Switch::receive(sim::Packet&& p, int in_port) {
   if (closed_.contains(in_port)) {
     ++blocked_;
-    ++network().counters().dropped_filter;
+    network().drop_filter(p, id());
     return;
   }
 
@@ -18,7 +18,7 @@ void Switch::receive(sim::Packet&& p, int in_port) {
 
   const int out_port = network().route_port(id(), p.dst);
   if (out_port < 0) {
-    ++network().counters().dropped_filter;
+    network().drop_filter(p, id());
     return;
   }
   ++forwarded_;

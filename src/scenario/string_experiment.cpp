@@ -1,11 +1,12 @@
 #include "scenario/string_experiment.hpp"
 
 #include <memory>
-#include <mutex>
+#include <vector>
 
 #include "core/defense.hpp"
 #include "honeypot/schedule.hpp"
 #include "net/control_plane.hpp"
+#include "net/invariant_checker.hpp"
 #include "net/network.hpp"
 #include "topo/string_topo.hpp"
 #include "traffic/cbr.hpp"
@@ -108,30 +109,41 @@ StringResult run_string_experiment(const StringExperimentConfig& config,
     simulator.run_until(t < horizon ? t : horizon);
   }
 
+  net::InvariantChecker audit(network);
+  audit.expect_ok();
+
   result.control_messages = control.total_messages();
   result.reports = control.messages_sent("intermediate_report");
+  result.trace_digest = simulator.trace().value();
+  result.events_executed = simulator.events_executed();
   return result;
 }
 
 StringSummary run_string_replicated(const StringExperimentConfig& config,
                                     int runs, std::uint64_t base_seed,
                                     util::ThreadPool* pool) {
-  StringSummary summary;
-  summary.runs = runs;
-  std::mutex mutex;
+  // Replications land in a per-seed slot and are merged serially in seed
+  // order afterwards, so the summary is bit-identical whether the runs
+  // execute on a thread pool or inline (floating-point accumulation is not
+  // commutative; merge order must not depend on thread scheduling).
+  std::vector<StringResult> results(static_cast<std::size_t>(runs));
   auto one = [&](std::size_t i) {
-    const StringResult r =
+    results[i] =
         run_string_experiment(config, base_seed + static_cast<std::uint64_t>(i));
-    std::lock_guard lock(mutex);
-    if (r.captured) {
-      ++summary.captured;
-      summary.capture_time.add(r.capture_seconds);
-    }
   };
   if (pool != nullptr) {
     pool->parallel_for(static_cast<std::size_t>(runs), one);
   } else {
     for (int i = 0; i < runs; ++i) one(static_cast<std::size_t>(i));
+  }
+
+  StringSummary summary;
+  summary.runs = runs;
+  for (const StringResult& r : results) {
+    if (r.captured) {
+      ++summary.captured;
+      summary.capture_time.add(r.capture_seconds);
+    }
   }
   return summary;
 }

@@ -32,6 +32,12 @@ struct StringResult {
   double capture_seconds = -1.0;  // from attack start (t = 0)
   std::uint64_t control_messages = 0;
   std::uint64_t reports = 0;      // progressive intermediate reports
+
+  // Audit trail: the run's trace-digest fingerprint and event count (see
+  // sim/trace_digest.hpp).  Same config + same seed must reproduce both
+  // bit-identically; the golden regression tests pin them.
+  std::uint64_t trace_digest = 0;
+  std::uint64_t events_executed = 0;
 };
 
 StringResult run_string_experiment(const StringExperimentConfig& config,

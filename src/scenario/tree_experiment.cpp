@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
+#include <vector>
 
 #include "honeypot/client.hpp"
+#include "net/invariant_checker.hpp"
 #include "net/network.hpp"
 #include "traffic/follower.hpp"
 #include "traffic/onoff.hpp"
@@ -348,17 +349,31 @@ TreeResult run_tree_experiment(const TreeExperimentConfig& config,
     result.pushback_limited_drops = pushback_system->total_limited_drops();
   }
   result.events_executed = simulator.events_executed();
+  result.trace_digest = simulator.trace().value();
+
+  net::InvariantChecker audit(network);
+  audit.expect_ok();
   return result;
 }
 
 TreeSummary run_replicated(const TreeExperimentConfig& config, int seeds,
                            std::uint64_t base_seed, util::ThreadPool* pool) {
-  TreeSummary summary;
-  std::mutex mutex;
+  // Per-seed slots merged serially in seed order: the summary must be
+  // bit-identical whether replications run pooled or inline (floating-point
+  // accumulation order would otherwise depend on thread scheduling).
+  std::vector<TreeResult> results(static_cast<std::size_t>(seeds));
   auto one = [&](std::size_t i) {
-    const TreeResult r =
+    results[i] =
         run_tree_experiment(config, base_seed + static_cast<std::uint64_t>(i));
-    std::lock_guard lock(mutex);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(static_cast<std::size_t>(seeds), one);
+  } else {
+    for (int i = 0; i < seeds; ++i) one(static_cast<std::size_t>(i));
+  }
+
+  TreeSummary summary;
+  for (const TreeResult& r : results) {
     summary.throughput.add(r.mean_client_throughput);
     if (r.mean_capture_delay >= 0) summary.capture_delay.add(r.mean_capture_delay);
     summary.capture_fraction.add(
@@ -366,11 +381,6 @@ TreeSummary run_replicated(const TreeExperimentConfig& config, int seeds,
             ? static_cast<double>(r.captured) / static_cast<double>(r.attackers)
             : 0.0);
     summary.false_captures.add(static_cast<double>(r.false_captures));
-  };
-  if (pool != nullptr) {
-    pool->parallel_for(static_cast<std::size_t>(seeds), one);
-  } else {
-    for (int i = 0; i < seeds; ++i) one(static_cast<std::size_t>(i));
   }
   return summary;
 }

@@ -101,6 +101,9 @@ struct TreeResult {
   std::uint64_t pushback_requests = 0;
   std::uint64_t pushback_limited_drops = 0;
   std::uint64_t events_executed = 0;
+  // Trace-digest fingerprint of the run (see sim/trace_digest.hpp); pinned
+  // by the golden regression tests.
+  std::uint64_t trace_digest = 0;
 };
 
 TreeResult run_tree_experiment(const TreeExperimentConfig& config,

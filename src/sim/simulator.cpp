@@ -15,6 +15,7 @@ void Simulator::run_until(SimTime horizon) {
     HBP_ASSERT(at >= now_);
     now_ = at;
     ++executed_;
+    trace_.fold(at, TraceKind::kEvent, /*node=*/-1, executed_);
     fn();
   }
   if (now_ < horizon) now_ = horizon;
@@ -26,6 +27,7 @@ void Simulator::run_all() {
     HBP_ASSERT(at >= now_);
     now_ = at;
     ++executed_;
+    trace_.fold(at, TraceKind::kEvent, /*node=*/-1, executed_);
     fn();
   }
 }

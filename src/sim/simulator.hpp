@@ -6,9 +6,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
+#include "sim/trace_digest.hpp"
 
 namespace hbp::sim {
 
@@ -34,10 +36,22 @@ class Simulator {
   std::uint64_t events_executed() const { return executed_; }
   std::size_t events_pending() const { return queue_.size(); }
 
+  // Time of the earliest pending event, if any (invariant audits).
+  std::optional<SimTime> next_event_time() const {
+    if (queue_.empty()) return std::nullopt;
+    return queue_.next_time();
+  }
+
+  // Running fingerprint of this run: the event loop folds every dispatched
+  // event and the data plane folds every packet transition.
+  TraceDigest& trace() { return trace_; }
+  const TraceDigest& trace() const { return trace_; }
+
  private:
   EventQueue queue_;
   SimTime now_ = SimTime::zero();
   std::uint64_t executed_ = 0;
+  TraceDigest trace_;
 };
 
 }  // namespace hbp::sim

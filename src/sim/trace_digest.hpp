@@ -1,0 +1,70 @@
+// Running fingerprint of a simulation run.
+//
+// The event loop and the data plane fold (time, event kind, node, packet
+// uid) records into a 64-bit digest.  Two runs that execute the same events
+// in the same order at the same times produce the same digest; any
+// divergence — a reordered event, a shifted timestamp, a lost or duplicated
+// packet — changes it with overwhelming probability.  The digest is the
+// determinism contract the golden regression tests pin down: every future
+// optimisation (sharded runners, caching, parallel replication) must keep
+// same-seed digests bit-identical.
+//
+// Folding costs a few arithmetic operations per record, so it stays enabled
+// in every build, like the HBP_ASSERT invariants.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace hbp::sim {
+
+using NodeId = std::int32_t;  // matches sim/packet.hpp
+
+enum class TraceKind : std::uint8_t {
+  kEvent = 1,      // event-loop dispatch (node/uid unused)
+  kTransmit,       // packet handed to a link
+  kDeliver,        // packet delivered by a link
+  kQueueDrop,      // rejected by an output queue
+  kTtlDrop,        // TTL expired at a router
+  kFilterDrop,     // dropped by a router filter or unroutable
+};
+
+class TraceDigest {
+ public:
+  // Absorbs one trace record; order-sensitive.
+  void fold(SimTime t, TraceKind kind, NodeId node, std::uint64_t uid) {
+    absorb(static_cast<std::uint64_t>(t.nanos()));
+    absorb((static_cast<std::uint64_t>(kind) << 32) ^
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)));
+    absorb(uid);
+  }
+
+  std::uint64_t value() const { return mix(state_ ^ records_); }
+  std::uint64_t records() const { return records_; }
+
+  void reset() {
+    state_ = kSeed;
+    records_ = 0;
+  }
+
+ private:
+  static constexpr std::uint64_t kSeed = 0x9e3779b97f4a7c15ULL;
+
+  // SplitMix64 finalizer: full-avalanche 64-bit mix.
+  static constexpr std::uint64_t mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  void absorb(std::uint64_t word) {
+    state_ = mix(state_ ^ word);
+    ++records_;
+  }
+
+  std::uint64_t state_ = kSeed;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace hbp::sim

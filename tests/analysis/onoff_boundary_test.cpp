@@ -1,0 +1,88 @@
+// Eq. (8)/(9) boundary behaviour: the attacker-optimal burst length
+// t_on = 2(1/r + τ) and the window of burst lengths over which the Eq. (9)
+// special case agrees with (or diverges from) the general Case-2 formula.
+#include <gtest/gtest.h>
+
+#include "analysis/capture_time.hpp"
+
+namespace hbp::analysis {
+namespace {
+
+Params params() {
+  Params p;
+  p.m = 5.0;
+  p.p = 0.4;
+  p.r = 10.0;   // 1/r = 0.1 s
+  p.tau = 1.0;  // hop_time = 1.1 s
+  p.h = 4;
+  return p;
+}
+
+TEST(OnOffBoundary, BestAttackBurstIsTwoHopTimes) {
+  const Params p = params();
+  EXPECT_DOUBLE_EQ(hop_time(p), 1.1);
+  EXPECT_DOUBLE_EQ(best_attack_t_on(p), 2.2);
+}
+
+TEST(OnOffBoundary, OptimalBurstFallsInCase2) {
+  const Params p = params();
+  const double t_on = best_attack_t_on(p);
+  // m = 5 > t_on/2 = 1.1 and m <= t_on + t_off = 7.2: Case 2.
+  EXPECT_EQ(classify_onoff(p.m, t_on, 5.0), OnOffCase::kCase2);
+}
+
+TEST(OnOffBoundary, SpecialCaseMatchesGeneralFormulaAtOptimum) {
+  // At t_on = 2(1/r + τ) each successful burst advances exactly one hop,
+  // so Eq. (7) degenerates into Eq. (9): E[CT] = h (t_on + t_off) / p.
+  const Params p = params();
+  const double t_off = 5.0;
+  const double t_on = best_attack_t_on(p);
+
+  const Estimate general = progressive_onoff(p, t_on, t_off);
+  const double special = progressive_onoff_special(p, t_off);
+
+  EXPECT_TRUE(general.valid);
+  EXPECT_DOUBLE_EQ(general.seconds, special);
+  EXPECT_DOUBLE_EQ(special, p.h * (t_on + t_off) / p.p);
+}
+
+TEST(OnOffBoundary, DoubleOptimalBurstAdvancesTwoHopsPerSuccess) {
+  // t_on = 4.4: overlap per success t_on/2 = 2.2 = two hop times, so the
+  // session advances twice as fast per success and the special case no
+  // longer applies.
+  const Params p = params();
+  const double t_off = 5.0;
+  const Estimate e = progressive_onoff(p, 4.4, t_off);
+  EXPECT_TRUE(e.valid);
+  EXPECT_DOUBLE_EQ(e.seconds, ((4.4 + t_off) / p.p) * p.h / 2.0);
+  EXPECT_LT(e.seconds, progressive_onoff_special(p, t_off));
+}
+
+TEST(OnOffBoundary, BurstsShorterThanOptimumAreInvalid) {
+  // Below 2(1/r + τ) a single success cannot even advance one hop: the
+  // Case-2 side condition t_on/2 >= 1/r + τ fails.
+  const Params p = params();
+  const Estimate e = progressive_onoff(p, 2.0, 5.0);
+  EXPECT_FALSE(e.valid);
+  const Estimate basic = basic_onoff(p, 2.0, 5.0);
+  EXPECT_FALSE(basic.valid);
+}
+
+TEST(OnOffBoundary, ValidityFlipsExactlyAtTheOptimum) {
+  const Params p = params();
+  const double t_on = best_attack_t_on(p);
+  EXPECT_TRUE(progressive_onoff(p, t_on, 5.0).valid);
+  EXPECT_FALSE(progressive_onoff(p, t_on - 1e-9, 5.0).valid);
+}
+
+TEST(OnOffBoundary, LongerOffPeriodsDelayCaptureLinearly) {
+  // Eq. (9) is linear in t_off: the attacker trades attack duty cycle for
+  // capture delay one-for-one.
+  const Params p = params();
+  const double at5 = progressive_onoff_special(p, 5.0);
+  const double at10 = progressive_onoff_special(p, 10.0);
+  EXPECT_DOUBLE_EQ(at10 - at5, p.h * 5.0 / p.p);
+}
+
+}  // namespace
+}  // namespace hbp::analysis

@@ -1,0 +1,100 @@
+#include "honeypot/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hbp::honeypot {
+namespace {
+
+ConnectionState state(sim::Address client, int server, std::uint64_t bytes) {
+  ConnectionState s;
+  s.client = client;
+  s.server_index = server;
+  s.bytes = bytes;
+  return s;
+}
+
+TEST(CheckpointStore, ClaimWithoutDepositIsBrandNew) {
+  CheckpointStore store;
+  EXPECT_FALSE(store.claim(42).has_value());
+  EXPECT_EQ(store.deposits(), 0u);
+  EXPECT_EQ(store.resumes(), 0u);
+  EXPECT_EQ(store.pending(), 0u);
+}
+
+TEST(CheckpointStore, DepositThenClaimRoundTrips) {
+  CheckpointStore store;
+  ConnectionState s = state(7, 2, 12'345);
+  s.migrations = 3;
+  s.last_update = sim::SimTime::seconds(9);
+  store.deposit(s);
+  EXPECT_EQ(store.deposits(), 1u);
+  EXPECT_EQ(store.pending(), 1u);
+
+  const auto claimed = store.claim(7);
+  ASSERT_TRUE(claimed.has_value());
+  EXPECT_EQ(claimed->client, 7u);
+  EXPECT_EQ(claimed->server_index, 2);
+  EXPECT_EQ(claimed->bytes, 12'345u);
+  EXPECT_EQ(claimed->migrations, 3u);
+  EXPECT_EQ(claimed->last_update, sim::SimTime::seconds(9));
+  EXPECT_EQ(store.resumes(), 1u);
+  EXPECT_EQ(store.pending(), 0u);
+}
+
+TEST(CheckpointStore, ClaimConsumesTheCheckpoint) {
+  CheckpointStore store;
+  store.deposit(state(7, 0, 100));
+  ASSERT_TRUE(store.claim(7).has_value());
+  // A second claim finds nothing: the client carried the checkpoint away.
+  EXPECT_FALSE(store.claim(7).has_value());
+  EXPECT_EQ(store.resumes(), 1u);
+}
+
+TEST(CheckpointStore, RedepositOverwritesPerClient) {
+  CheckpointStore store;
+  store.deposit(state(7, 0, 100));
+  store.deposit(state(7, 1, 250));  // same client checkpoints again
+  EXPECT_EQ(store.deposits(), 2u);
+  EXPECT_EQ(store.pending(), 1u);
+  const auto claimed = store.claim(7);
+  ASSERT_TRUE(claimed.has_value());
+  EXPECT_EQ(claimed->server_index, 1);
+  EXPECT_EQ(claimed->bytes, 250u);
+}
+
+TEST(CheckpointStore, IndependentClients) {
+  CheckpointStore store;
+  store.deposit(state(1, 0, 10));
+  store.deposit(state(2, 1, 20));
+  EXPECT_EQ(store.pending(), 2u);
+  const auto one = store.claim(1);
+  const auto two = store.claim(2);
+  ASSERT_TRUE(one.has_value());
+  ASSERT_TRUE(two.has_value());
+  EXPECT_EQ(one->bytes, 10u);
+  EXPECT_EQ(two->bytes, 20u);
+  EXPECT_FALSE(store.claim(3).has_value());
+}
+
+TEST(CheckpointStore, ByteCountersSurviveRepeatedMigration) {
+  // Section 4: byte progress accumulates across an arbitrary number of
+  // server switches without loss.
+  CheckpointStore store;
+  ConnectionState s = state(9, 0, 0);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    s.bytes += 1'000;
+    ++s.migrations;
+    s.server_index = epoch % 3;
+    store.deposit(s);
+    const auto resumed = store.claim(9);
+    ASSERT_TRUE(resumed.has_value());
+    s = *resumed;
+  }
+  EXPECT_EQ(s.bytes, 10'000u);
+  EXPECT_EQ(s.migrations, 10u);
+  EXPECT_EQ(store.deposits(), 10u);
+  EXPECT_EQ(store.resumes(), 10u);
+}
+
+}  // namespace
+}  // namespace hbp::honeypot

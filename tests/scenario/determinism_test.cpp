@@ -1,0 +1,102 @@
+// Determinism guarantees of the simulation core: the same configuration and
+// seed must reproduce every metric and the trace digest bit-identically, and
+// thread-pool replication must be indistinguishable from the serial path
+// (per-seed results land in slots and merge in seed order, so floating-point
+// accumulation order never depends on thread scheduling).
+#include <gtest/gtest.h>
+
+#include "scenario/string_experiment.hpp"
+#include "scenario/tree_experiment.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hbp::scenario {
+namespace {
+
+StringExperimentConfig mini_string() {
+  StringExperimentConfig config;
+  config.m = 5.0;
+  config.p = 0.5;
+  config.h = 4;
+  config.attacker_rate_bps = 0.1e6;
+  config.tau = 0.5;
+  config.horizon_seconds = 300.0;
+  return config;
+}
+
+TreeExperimentConfig mini_tree() {
+  TreeExperimentConfig config;
+  config.scheme = Scheme::kHbp;
+  config.tree.leaf_count = 60;
+  config.n_clients = 15;
+  config.n_attackers = 5;
+  config.attacker_rate_bps = 1.0e6;
+  config.sim_seconds = 30.0;
+  config.attack_start = 2.0;
+  config.attack_end = 25.0;
+  config.epoch_seconds = 5.0;
+  return config;
+}
+
+TEST(Determinism, StringSameSeedReproducesDigestAndMetrics) {
+  const auto config = mini_string();
+  const StringResult a = run_string_experiment(config, 42);
+  const StringResult b = run_string_experiment(config, 42);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.captured, b.captured);
+  EXPECT_EQ(a.capture_seconds, b.capture_seconds);
+  EXPECT_EQ(a.control_messages, b.control_messages);
+}
+
+TEST(Determinism, StringDifferentSeedsProduceDifferentDigests) {
+  const auto config = mini_string();
+  const StringResult a = run_string_experiment(config, 1);
+  const StringResult b = run_string_experiment(config, 2);
+  EXPECT_NE(a.trace_digest, b.trace_digest);
+}
+
+TEST(Determinism, TreeSameSeedReproducesDigestAndMetrics) {
+  const auto config = mini_tree();
+  const TreeResult a = run_tree_experiment(config, 7);
+  const TreeResult b = run_tree_experiment(config, 7);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.mean_client_throughput, b.mean_client_throughput);
+  EXPECT_EQ(a.captured, b.captured);
+  EXPECT_EQ(a.mean_capture_delay, b.mean_capture_delay);
+}
+
+TEST(Determinism, StringReplicationOnPoolMatchesSerialBitForBit) {
+  const auto config = mini_string();
+  const StringSummary serial = run_string_replicated(config, 6, 100, nullptr);
+  util::ThreadPool pool(4);
+  const StringSummary pooled = run_string_replicated(config, 6, 100, &pool);
+
+  EXPECT_EQ(serial.runs, pooled.runs);
+  EXPECT_EQ(serial.captured, pooled.captured);
+  EXPECT_EQ(serial.capture_time.count(), pooled.capture_time.count());
+  // Exact equality on purpose: the merge is ordered, so the floating-point
+  // sums are bit-identical, not merely close.
+  EXPECT_EQ(serial.capture_time.mean(), pooled.capture_time.mean());
+  EXPECT_EQ(serial.capture_time.sum(), pooled.capture_time.sum());
+  EXPECT_EQ(serial.capture_time.variance(), pooled.capture_time.variance());
+  EXPECT_EQ(serial.capture_time.min(), pooled.capture_time.min());
+  EXPECT_EQ(serial.capture_time.max(), pooled.capture_time.max());
+}
+
+TEST(Determinism, TreeReplicationOnPoolMatchesSerialBitForBit) {
+  const auto config = mini_tree();
+  const TreeSummary serial = run_replicated(config, 3, 500, nullptr);
+  util::ThreadPool pool(3);
+  const TreeSummary pooled = run_replicated(config, 3, 500, &pool);
+
+  EXPECT_EQ(serial.throughput.count(), pooled.throughput.count());
+  EXPECT_EQ(serial.throughput.mean(), pooled.throughput.mean());
+  EXPECT_EQ(serial.throughput.variance(), pooled.throughput.variance());
+  EXPECT_EQ(serial.capture_delay.mean(), pooled.capture_delay.mean());
+  EXPECT_EQ(serial.capture_fraction.mean(), pooled.capture_fraction.mean());
+  EXPECT_EQ(serial.false_captures.mean(), pooled.false_captures.mean());
+}
+
+}  // namespace
+}  // namespace hbp::scenario

@@ -1,0 +1,104 @@
+#include "sim/trace_digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace hbp::sim {
+namespace {
+
+TEST(TraceDigest, FreshDigestsAgree) {
+  TraceDigest a, b;
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(a.records(), 0u);
+}
+
+TEST(TraceDigest, FoldChangesValueAndCountsRecords) {
+  TraceDigest d;
+  const std::uint64_t empty = d.value();
+  d.fold(SimTime::millis(3), TraceKind::kTransmit, 7, 42);
+  EXPECT_NE(d.value(), empty);
+  // fold() absorbs three words: time, kind^node, uid.
+  EXPECT_EQ(d.records(), 3u);
+}
+
+TEST(TraceDigest, SameSequenceSameValue) {
+  TraceDigest a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.fold(SimTime::millis(i), TraceKind::kDeliver, i % 5, static_cast<std::uint64_t>(i));
+    b.fold(SimTime::millis(i), TraceKind::kDeliver, i % 5, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(a.records(), b.records());
+}
+
+TEST(TraceDigest, OrderSensitive) {
+  TraceDigest ab, ba;
+  ab.fold(SimTime::millis(1), TraceKind::kEvent, 1, 1);
+  ab.fold(SimTime::millis(2), TraceKind::kEvent, 2, 2);
+  ba.fold(SimTime::millis(2), TraceKind::kEvent, 2, 2);
+  ba.fold(SimTime::millis(1), TraceKind::kEvent, 1, 1);
+  EXPECT_NE(ab.value(), ba.value());
+}
+
+TEST(TraceDigest, DiscriminatesEveryField) {
+  auto one = [](SimTime t, TraceKind k, NodeId n, std::uint64_t uid) {
+    TraceDigest d;
+    d.fold(t, k, n, uid);
+    return d.value();
+  };
+  const std::uint64_t base =
+      one(SimTime::millis(1), TraceKind::kTransmit, 3, 9);
+  EXPECT_NE(base, one(SimTime::millis(2), TraceKind::kTransmit, 3, 9));
+  EXPECT_NE(base, one(SimTime::millis(1), TraceKind::kDeliver, 3, 9));
+  EXPECT_NE(base, one(SimTime::millis(1), TraceKind::kTransmit, 4, 9));
+  EXPECT_NE(base, one(SimTime::millis(1), TraceKind::kTransmit, 3, 10));
+}
+
+TEST(TraceDigest, ResetRestoresInitialState) {
+  TraceDigest d;
+  const std::uint64_t empty = d.value();
+  d.fold(SimTime::seconds(1), TraceKind::kQueueDrop, 2, 5);
+  d.reset();
+  EXPECT_EQ(d.value(), empty);
+  EXPECT_EQ(d.records(), 0u);
+}
+
+TEST(TraceDigest, SimulatorFoldsEveryDispatchedEvent) {
+  struct Run {
+    std::uint64_t digest;
+    std::uint64_t records;
+    std::uint64_t executed;
+  };
+  auto run = [](int events) {
+    Simulator s;
+    for (int i = 0; i < events; ++i) {
+      s.at(SimTime::millis(i), [] {});
+    }
+    s.run_all();
+    return Run{s.trace().value(), s.trace().records(), s.events_executed()};
+  };
+  const Run a = run(5);
+  const Run b = run(5);
+  EXPECT_EQ(a.digest, b.digest);
+  // Each dispatched event folds one record triple.
+  EXPECT_EQ(a.records, 3u * a.executed);
+
+  const Run c = run(6);
+  EXPECT_NE(a.digest, c.digest);
+}
+
+TEST(TraceDigest, SimulatorNextEventTime) {
+  Simulator s;
+  EXPECT_FALSE(s.next_event_time().has_value());
+  s.at(SimTime::millis(7), [] {});
+  s.at(SimTime::millis(3), [] {});
+  ASSERT_TRUE(s.next_event_time().has_value());
+  EXPECT_EQ(*s.next_event_time(), SimTime::millis(3));
+  s.run_all();
+  EXPECT_FALSE(s.next_event_time().has_value());
+}
+
+}  // namespace
+}  // namespace hbp::sim
