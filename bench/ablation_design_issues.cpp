@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   auto config = bench::default_tree_config();
   const auto common = bench::apply_common_flags(flags, config);
+  bench::BenchReport report("ablation_design_issues", flags);
   flags.finish();
 
   util::ThreadPool pool;
@@ -28,6 +29,12 @@ int main(int argc, char** argv) {
       config.hbp.ingress_mode = mode;
       const auto summary = scenario::run_replicated(config, common.seeds,
                                                     common.base_seed, &pool);
+      report.add_summary(summary);
+      report.add_counter(
+          std::string("capture_fraction.") +
+              (mode == core::HbpParams::IngressMode::kMarking ? "marking"
+                                                              : "tunneling"),
+          summary.capture_fraction.mean());
       table.add_row(
           {mode == core::HbpParams::IngressMode::kMarking ? "marking"
                                                           : "tunneling",
@@ -71,6 +78,11 @@ int main(int argc, char** argv) {
       probe_config.benign_probe_rate = 2.0;
       const auto r =
           scenario::run_tree_experiment(probe_config, common.base_seed);
+      report.add_run(r);
+      report.add_counter(
+          "false_activations.threshold=" +
+              util::Table::num(static_cast<long long>(threshold)),
+          static_cast<double>(r.hbp_false_activations));
       table.add_row(
           {util::Table::num(static_cast<long long>(threshold)),
            util::Table::num(static_cast<long long>(r.hbp_false_activations)),
@@ -91,6 +103,10 @@ int main(int argc, char** argv) {
       config.pb_weighted_by_hosts = weighted;
       const auto summary = scenario::run_replicated(config, common.seeds,
                                                     common.base_seed, &pool);
+      report.add_summary(summary);
+      report.add_counter(std::string("throughput.") +
+                             (weighted ? "weighted" : "plain"),
+                         summary.throughput.mean());
       table.add_row({weighted ? "host-weighted (Level-k style)"
                               : "per-port max-min (plain Pushback)",
                      util::Table::percent(summary.throughput.mean())});
@@ -112,11 +128,16 @@ int main(int argc, char** argv) {
       config.pb.max_depth = depth;
       const auto summary = scenario::run_replicated(config, common.seeds,
                                                     common.base_seed, &pool);
+      report.add_summary(summary);
+      report.add_counter(
+          "throughput.depth=" + util::Table::num(static_cast<long long>(depth)),
+          summary.throughput.mean());
       table.add_row({util::Table::num(static_cast<long long>(depth)),
                      util::Table::percent(summary.throughput.mean())});
     }
     table.print();
   }
 
+  report.write();
   return 0;
 }

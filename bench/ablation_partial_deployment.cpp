@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   const auto common = bench::apply_common_flags(flags, config);
   const auto fractions =
       flags.get_double_list("fractions", {1.0, 0.8, 0.6, 0.4, 0.2});
+  bench::BenchReport report("ablation_partial_deployment", flags);
   flags.finish();
 
   config.scheme = scenario::Scheme::kHbp;
@@ -28,6 +29,9 @@ int main(int argc, char** argv) {
     config.hbp_deploy_fraction = f;
     const auto summary =
         scenario::run_replicated(config, common.seeds, common.base_seed, &pool);
+    report.add_summary(summary);
+    report.add_counter("capture_fraction.f=" + util::Table::num(f, 1),
+                       summary.capture_fraction.mean());
     table.add_row({util::Table::percent(f, 0),
                    util::Table::percent(summary.capture_fraction.mean()),
                    util::Table::percent(summary.throughput.mean()),
@@ -39,5 +43,6 @@ int main(int argc, char** argv) {
               "benefit — captures\n(and throughput) degrade gracefully with "
               "the deployment fraction, and\nfalse captures stay at zero "
               "because accuracy never depends on coverage.\n");
+  report.write();
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "analysis/capture_time.hpp"
+#include "bench/bench_util.hpp"
 #include "scenario/string_experiment.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   const int h = static_cast<int>(flags.get_int("h", 6));
   const double t_off = flags.get_double("t_off", 7.0);
   const auto t_ons = flags.get_double_list("t_on", {1.5, 3.0, 6.0, 12.0, 25.0});
+  bench::BenchReport report("ablation_progressive", flags);
   flags.finish();
 
   util::ThreadPool pool;
@@ -51,6 +53,12 @@ int main(int argc, char** argv) {
     const auto basic = run(config);
     config.progressive = true;
     const auto progressive = run(config);
+    report.add_summary(basic);
+    report.add_summary(progressive);
+    report.add_counter("captured.basic.t_on=" + util::Table::num(t_on, 1),
+                       static_cast<double>(basic.captured));
+    report.add_counter("captured.progressive.t_on=" + util::Table::num(t_on, 1),
+                       static_cast<double>(progressive.captured));
 
     analysis::Params params;
     params.m = base.m;
@@ -84,6 +92,9 @@ int main(int argc, char** argv) {
     config.progressive = true;
     config.follower_delay = d;
     const auto summary = run(config);
+    report.add_summary(summary);
+    report.add_counter("captured.follower.d=" + util::Table::num(d, 1),
+                       static_cast<double>(summary.captured));
     analysis::Params params;
     params.m = base.m;
     params.p = base.p;
@@ -106,5 +117,6 @@ int main(int argc, char** argv) {
               "(sessions restart from\nscratch every epoch) while the "
               "progressive scheme keeps converging via the\nintermediate-AS "
               "list; slower followers are captured faster.\n");
+  report.write();
   return 0;
 }

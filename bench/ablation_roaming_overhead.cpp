@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "bench/bench_util.hpp"
 #include "honeypot/tcp_client.hpp"
 #include "net/network.hpp"
 #include "net/router.hpp"
@@ -21,6 +22,8 @@ struct Result {
   double goodput_bps = 0.0;
   double migrations = 0.0;
   double handshakes = 0.0;
+  std::uint64_t events = 0;
+  double sim_seconds = 0.0;
 };
 
 Result run(int k, double epoch_seconds, int n_clients, double horizon,
@@ -90,6 +93,8 @@ Result run(int k, double epoch_seconds, int n_clients, double horizon,
   }
   r.migrations /= n_clients;
   r.handshakes /= n_clients;
+  r.events = simulator.events_executed();
+  r.sim_seconds = horizon;
   return r;
 }
 
@@ -101,6 +106,7 @@ int main(int argc, char** argv) {
   const int n_clients = static_cast<int>(flags.get_int("clients", 6));
   const double horizon = flags.get_double("horizon", 120.0);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  bench::BenchReport report("ablation_roaming_overhead", flags);
   flags.finish();
 
   util::print_banner("Ablation — roaming overhead under no attack "
@@ -110,6 +116,8 @@ int main(int argc, char** argv) {
   util::Table table({"Configuration", "Aggregate TCP goodput",
                      "vs no roaming", "Migrations/client"});
   auto row = [&](const std::string& name, const Result& r) {
+    report.add_events(r.events, r.sim_seconds);
+    report.add_counter("goodput_mbps." + name, r.goodput_bps / 1e6);
     table.add_row({name, util::Table::num(r.goodput_bps / 1e6, 2) + " Mb/s",
                    util::Table::percent(r.goodput_bps / baseline.goodput_bps),
                    util::Table::num(r.migrations, 1)});
@@ -126,5 +134,6 @@ int main(int argc, char** argv) {
               "slow-start restarts\nof migrated connections; shorter epochs "
               "and fewer active servers cost more.\nThe overhead is "
               "avoidable by roaming only while attacks are detected.\n");
+  report.write();
   return 0;
 }

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   const auto common = bench::apply_common_flags(flags, config);
   config.tcp_downloads = static_cast<int>(flags.get_int("downloads", 3));
   config.n_attackers = static_cast<int>(flags.get_int("attackers", 25));
+  bench::BenchReport report("ablation_tcp_impact", flags);
   flags.finish();
 
   config.sim_seconds = 150.0;
@@ -33,7 +34,10 @@ int main(int argc, char** argv) {
           config, common.base_seed + static_cast<std::uint64_t>(s));
       before.add(r.tcp_goodput_before);
       during.add(r.tcp_goodput_during);
+      report.add_run(r);
     }
+    report.add_counter("tcp_goodput_during." + scenario::to_string(scheme),
+                       during.mean());
     table.add_row({scenario::to_string(scheme),
                    util::Table::num(before.mean() / 1e6, 2),
                    util::Table::num(during.mean() / 1e6, 2),
@@ -46,5 +50,6 @@ int main(int argc, char** argv) {
               "collapse is pure ACK\nloss — \"if TCP ACK packets from "
               "clients to servers get dropped due to the\nattack, the "
               "throughput of TCP flows is degraded\" (Section 3).\n");
+  report.write();
   return 0;
 }

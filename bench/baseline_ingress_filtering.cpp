@@ -7,6 +7,7 @@
 // addresses at all.
 #include <cstdio>
 
+#include "bench/bench_util.hpp"
 #include "scenario/tree_experiment.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const int seeds = static_cast<int>(flags.get_int("seeds", 2));
+  bench::BenchReport report("baseline_ingress_filtering", flags);
   flags.finish();
 
   util::print_banner("Baseline — ingress filtering (BCP 38) vs honeypot "
@@ -54,12 +56,17 @@ int main(int argc, char** argv) {
   hbp_config.n_attackers = 25;
   const auto hbp =
       scenario::run_replicated(hbp_config, seeds, seed);
+  report.add_summary(hbp);
+  report.add_counter("hbp_throughput", hbp.throughput.mean());
   const std::string hbp_cell = util::Table::percent(hbp.throughput.mean());
 
   for (const double f : {0.0, 0.25, 0.5, 0.75, 0.95, 1.0}) {
     const double surviving = surviving_attack_fraction(f, 25, seed + 11);
     config.n_attackers = std::max(1, static_cast<int>(25 * surviving + 0.5));
     const auto r = scenario::run_replicated(config, seeds, seed);
+    report.add_summary(r);
+    report.add_counter("throughput.deploy=" + util::Table::num(f, 2),
+                       r.throughput.mean());
     table.add_row({util::Table::percent(f, 0),
                    util::Table::percent(surviving, 0),
                    surviving == 0.0 ? "90.0% (no attack)"
@@ -75,5 +82,6 @@ int main(int argc, char** argv) {
               "legitimate spoofing (mobile IP) — see "
               "tests/marking/ingress_filter_test.cpp.\n",
               hbp_cell.c_str());
+  report.write();
   return 0;
 }

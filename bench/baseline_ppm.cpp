@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "bench/bench_util.hpp"
 #include "marking/ppm.hpp"
 #include "net/host.hpp"
 #include "scenario/string_experiment.hpp"
@@ -94,6 +95,7 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const double rate_mbps = flags.get_double("rate_mbps", 0.1);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2));
+  bench::BenchReport report("baseline_ppm", flags);
   flags.finish();
   const double rate_bps = rate_mbps * 1e6;
   const double pps = rate_bps / 8000.0;
@@ -129,6 +131,13 @@ int main(int argc, char** argv) {
     hbp_config.tau = 0.5;
     const auto hbp = scenario::run_string_replicated(hbp_config, 5, seed);
     const auto hbp_one = scenario::run_string_experiment(hbp_config, seed);
+    report.add_summary(hbp);
+    report.add_counter(
+        "hbp_capture_s.h=" + util::Table::num(static_cast<long long>(h)),
+        hbp.captured > 0 ? hbp.capture_time.mean() : -1.0);
+    report.add_counter(
+        "ppm_packets.h=" + util::Table::num(static_cast<long long>(h)),
+        ppm.packets_to_reconstruct);
 
     table.add_row(
         {util::Table::num(static_cast<long long>(h)),
@@ -171,5 +180,6 @@ int main(int argc, char** argv) {
               "honeypot back-propagation needs only one packet per\nhop per "
               "epoch and turns router compromise into a liveness problem, "
               "not an\naccuracy problem.\n");
+  report.write();
   return 0;
 }

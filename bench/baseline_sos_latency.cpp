@@ -15,6 +15,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "bench/bench_util.hpp"
+
 #include "net/network.hpp"
 #include "topo/tree.hpp"
 #include "util/flags.hpp"
@@ -49,6 +51,7 @@ int main(int argc, char** argv) {
   const auto leaves = static_cast<std::size_t>(flags.get_int("leaves", 400));
   const int samples = static_cast<int>(flags.get_int("samples", 200));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  bench::BenchReport report("baseline_sos_latency", flags);
   flags.finish();
 
   sim::Simulator simulator;
@@ -119,6 +122,9 @@ int main(int argc, char** argv) {
       values.push_back(ratio);
     }
     std::sort(values.begin(), values.end());
+    report.add_counter("mean_stretch.overlay=" +
+                           util::Table::num(static_cast<long long>(overlay_size)),
+                       stretch.mean());
     table.add_row(
         {util::Table::num(static_cast<long long>(overlay_size)),
          util::Table::num(static_cast<long long>(chord_hops)),
@@ -133,5 +139,6 @@ int main(int argc, char** argv) {
               "log2(O)+2 underlay journeys on every packet,\nall the time; "
               "honeypot back-propagation leaves the data path untouched and\n"
               "acts only when attacks occur.\n");
+  report.write();
   return 0;
 }

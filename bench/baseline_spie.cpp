@@ -12,6 +12,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "bench/bench_util.hpp"
+
 #include "marking/spie.hpp"
 #include "net/host.hpp"
 #include "topo/tree.hpp"
@@ -26,6 +28,7 @@ int main(int argc, char** argv) {
   const auto leaves = static_cast<std::size_t>(flags.get_int("leaves", 200));
   const int clients = static_cast<int>(flags.get_int("clients", 50));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 6));
+  bench::BenchReport report("baseline_spie", flags);
   flags.finish();
 
   util::print_banner("Baseline — SPIE single-packet traceback: storage vs "
@@ -118,11 +121,16 @@ int main(int argc, char** argv) {
       if (!true_path.contains(r)) ++false_routers;
     }
 
+    report.add_events(simulator.events_executed(),
+                      simulator.now().to_seconds());
     const auto storage = agent_map[tree.gateway]->storage_bytes();
     const double bits_per_packet =
         static_cast<double>(bits) * params.windows_retained * 8.0 /
         std::max<std::uint64_t>(1,
                                 agent_map[tree.gateway]->packets_recorded());
+    report.add_counter(
+        "false_routers.bits=" + util::Table::num(static_cast<long long>(bits)),
+        false_routers);
     table.add_row(
         {util::Table::num(static_cast<long long>(bits)),
          util::Table::num(static_cast<double>(storage) / 1024.0, 1) + " KiB",
@@ -140,5 +148,6 @@ int main(int argc, char** argv) {
               "bytes per victim\naddress), because the roaming honeypot "
               "makes the *traffic itself* the\nsignature instead of a "
               "per-packet history.\n");
+  report.write();
   return 0;
 }

@@ -10,6 +10,8 @@
 // mark; HBP's switch-port captures have no analogous collision mode.
 #include <cstdio>
 
+#include "bench/bench_util.hpp"
+
 #include <memory>
 
 #include "marking/stackpi.hpp"
@@ -101,6 +103,7 @@ int main(int argc, char** argv) {
   const auto leaves = static_cast<std::size_t>(flags.get_int("leaves", 400));
   const int clients = static_cast<int>(flags.get_int("clients", 100));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));
+  bench::BenchReport report("baseline_stackpi", flags);
   flags.finish();
 
   util::print_banner("Baseline — StackPi mark filtering accuracy vs number "
@@ -110,6 +113,9 @@ int main(int argc, char** argv) {
                      "False negatives", "HBP equivalent"});
   for (const int n : {5, 15, 30, 60, 120}) {
     const Accuracy acc = run(n, clients, leaves, seed);
+    report.add_counter(
+        "false_positive_rate.n=" + util::Table::num(static_cast<long long>(n)),
+        acc.false_positive_rate);
     table.add_row(
         {util::Table::num(static_cast<long long>(n)),
          util::Table::num(static_cast<long long>(acc.marks)),
@@ -126,5 +132,6 @@ int main(int argc, char** argv) {
               "back-propagation blocks physical switch ports instead: "
               "collisions\nare impossible and false positives stay at zero "
               "(see tests/scenario).\n");
+  report.write();
   return 0;
 }

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const auto common = bench::apply_common_flags(flags, config);
   config.n_attackers = static_cast<int>(flags.get_int("attackers", 25));
   config.attacker_rate_bps = flags.get_double("rate_mbps", 1.0) * 1e6;
+  bench::BenchReport report("fig10_locations", flags);
   flags.finish();
 
   util::print_banner(
@@ -39,6 +40,10 @@ int main(int argc, char** argv) {
       config.scheme = scheme;
       const auto summary = scenario::run_replicated(config, common.seeds,
                                                     common.base_seed, &pool);
+      report.add_summary(summary);
+      report.add_counter("throughput." + scenario::to_string(placement) + "." +
+                             scenario::to_string(scheme),
+                         summary.throughput.mean());
       row.push_back(util::Table::percent(summary.throughput.mean()) + " +/- " +
                     util::Table::percent(summary.throughput.ci95_halfwidth()));
     }
@@ -49,5 +54,6 @@ int main(int argc, char** argv) {
   std::printf("\nPaper shape: HBP flat and high in all three columns; "
               "Pushback degrades toward 'Close'\nand drops below No Defense "
               "there.\n");
+  report.write();
   return 0;
 }

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   config.attacker_rate_bps = flags.get_double("rate_mbps", 0.5) * 1e6;
   const auto counts =
       flags.get_double_list("counts", {10, 25, 50, 75, 100});
+  bench::BenchReport report("fig11_num_attackers", flags);
   flags.finish();
 
   util::print_banner(
@@ -37,6 +38,11 @@ int main(int argc, char** argv) {
       const auto summary =
           scenario::run_replicated(config, common.seeds, common.base_seed,
                                    &pool);
+      report.add_summary(summary);
+      report.add_counter("throughput.n=" +
+                             util::Table::num(static_cast<long long>(n)) + "." +
+                             scenario::to_string(scheme),
+                         summary.throughput.mean());
       row.push_back(util::Table::percent(summary.throughput.mean()) +
                     " +/- " +
                     util::Table::percent(summary.throughput.ci95_halfwidth()));
@@ -51,5 +57,6 @@ int main(int argc, char** argv) {
 
   std::printf("\nPaper shape: HBP roughly flat; Pushback and No Defense fall "
               "as the attacker\ncount grows.\n");
+  report.write();
   return 0;
 }

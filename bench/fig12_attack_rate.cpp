@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   config.n_attackers = static_cast<int>(flags.get_int("attackers", 25));
   const auto rates =
       flags.get_double_list("rates_mbps", {0.1, 0.25, 0.5, 1.0, 2.0});
+  bench::BenchReport report("fig12_attack_rate", flags);
   flags.finish();
 
   util::print_banner("Fig. 12 (reconstructed) — client throughput vs attack "
@@ -38,6 +39,10 @@ int main(int argc, char** argv) {
       const auto summary =
           scenario::run_replicated(config, common.seeds, common.base_seed,
                                    &pool);
+      report.add_summary(summary);
+      report.add_counter("throughput.rate=" + util::Table::num(rate, 2) + "." +
+                             scenario::to_string(scheme),
+                         summary.throughput.mean());
       row.push_back(util::Table::percent(summary.throughput.mean()) +
                     " +/- " +
                     util::Table::percent(summary.throughput.ci95_halfwidth()));
@@ -51,5 +56,6 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   table.print();
+  report.write();
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "analysis/capture_time.hpp"
+#include "bench/bench_util.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
   const auto t_ons = flags.get_double_list(
       "t_on", {1.0, 1.5, 2.0, 2.2, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0,
                15.0, 20.0, 25.0, 30.0, 40.0});
+  bench::BenchReport report("fig5_analysis", flags);
   flags.finish();
 
   util::print_banner("Fig. 5 — progressive back-propagation capture time "
@@ -81,5 +83,13 @@ int main(int argc, char** argv) {
   std::printf("Paper shape: capture time peaks at the Eq. (9) point and falls"
               " toward both\nlong bursts (approaching the continuous line) "
               "and very short bursts (case 3).\n");
+
+  report.add_counter("continuous_capture_s", continuous);
+  report.add_counter("best_t_on_s", analysis::best_attack_t_on(params));
+  report.add_counter("onoff_special_toff5_s",
+                     analysis::progressive_onoff_special(params, 5.0));
+  report.add_counter("onoff_special_toff10_s",
+                     analysis::progressive_onoff_special(params, 10.0));
+  report.write();
   return 0;
 }

@@ -3,6 +3,7 @@
 // histograms measured on an actually-built tree.
 #include <cstdio>
 
+#include "bench/bench_util.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 #include "topo/tree.hpp"
@@ -15,6 +16,7 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const auto leaves = static_cast<std::size_t>(flags.get_int("leaves", 1000));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  bench::BenchReport report("fig7_topology", flags);
   flags.finish();
 
   sim::Simulator simulator;
@@ -74,5 +76,12 @@ int main(int argc, char** argv) {
     (tree.as_map.info(static_cast<net::AsId>(a)).transit ? transit : stub) += 1;
   }
   std::printf("transit ASs: %d   stub ASs: %d\n", transit, stub);
+
+  report.add_counter("mean_hop_count", hops.mean());
+  report.add_counter("mean_interior_degree", degrees.mean());
+  report.add_counter("total_nodes", static_cast<double>(network.node_count()));
+  report.add_counter("transit_as", transit);
+  report.add_counter("stub_as", stub);
+  report.write();
   return 0;
 }

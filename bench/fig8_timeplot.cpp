@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "telemetry/report.hpp"
 
 int main(int argc, char** argv) {
   using namespace hbp;
@@ -17,6 +18,10 @@ int main(int argc, char** argv) {
   const auto common = bench::apply_common_flags(flags, config);
   config.n_attackers = static_cast<int>(flags.get_int("attackers", 25));
   config.attacker_rate_bps = flags.get_double("rate_mbps", 1.0) * 1e6;
+  bench::BenchReport report("fig8_timeplot", flags);
+  // Full hbp-run-report/1 + CSV time-series dump of the HBP run.
+  const std::string report_path = flags.get_string("report", "");
+  const std::string csv_path = flags.get_string("csv", "");
   flags.finish();
 
   util::print_banner("Fig. 8 — client throughput over time (one run, attack "
@@ -30,6 +35,9 @@ int main(int argc, char** argv) {
         scenario::Scheme::kNoDefense}) {
     config.scheme = scheme;
     auto result = scenario::run_tree_experiment(config, common.base_seed);
+    report.add_run(result);
+    report.add_counter("throughput." + scenario::to_string(scheme),
+                       result.mean_client_throughput);
     names.push_back(scenario::to_string(scheme));
     lines.push_back(result.timeline);
     results.push_back(std::move(result));
@@ -54,5 +62,34 @@ int main(int argc, char** argv) {
               results[0].mean_client_throughput * 100,
               results[1].mean_client_throughput * 100,
               results[2].mean_client_throughput * 100);
+
+  if (!report_path.empty() || !csv_path.empty()) {
+    const scenario::TreeResult& hbp = results[0];
+    telemetry::RunManifest manifest;
+    manifest.name = "fig8_timeplot";
+    manifest.seed = common.base_seed;
+    manifest.trace_digest = hbp.trace_digest;
+    manifest.events_executed = hbp.events_executed;
+    manifest.sim_seconds = config.sim_seconds;
+    manifest.set("scheme", scenario::to_string(scenario::Scheme::kHbp));
+    manifest.set_int("leaves",
+                     static_cast<std::int64_t>(config.tree.leaf_count));
+    manifest.set_int("n_clients", config.n_clients);
+    manifest.set_int("n_attackers", config.n_attackers);
+    manifest.set_double("attacker_rate_bps", config.attacker_rate_bps);
+    manifest.set_double("attack_start", config.attack_start);
+    manifest.set_double("attack_end", config.attack_end);
+    manifest.set_double("sim_seconds", config.sim_seconds);
+    if (!report_path.empty()) {
+      telemetry::write_run_report(report_path, manifest, hbp.telemetry.get(),
+                                  &hbp.perf);
+      std::printf("Wrote %s\n", report_path.c_str());
+    }
+    if (!csv_path.empty() && hbp.telemetry) {
+      telemetry::write_timeseries_csv(csv_path, *hbp.telemetry);
+      std::printf("Wrote %s\n", csv_path.c_str());
+    }
+  }
+  report.write();
   return 0;
 }

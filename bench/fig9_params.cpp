@@ -9,6 +9,7 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   auto config = bench::default_tree_config();
   bench::apply_common_flags(flags, config);
+  bench::BenchReport report("fig9_params", flags);
   flags.finish();
 
   util::print_banner("Fig. 9 — simulation parameters");
@@ -58,5 +59,12 @@ int main(int argc, char** argv) {
       "Section 8.4.1");
   row("spoofing", "uniform random source per packet", "Section 3");
   table.print();
+
+  report.add_counter("servers", config.tree.server_count);
+  report.add_counter("k_active", config.k_active);
+  report.add_counter("leaves", static_cast<double>(config.tree.leaf_count));
+  report.add_counter("clients", config.n_clients);
+  report.add_counter("attackers", config.n_attackers);
+  report.write();
   return 0;
 }

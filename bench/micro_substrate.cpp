@@ -3,6 +3,12 @@
 // max-min allocator.  These bound the simulator's throughput (events/s).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "honeypot/hash_chain.hpp"
 #include "net/host.hpp"
 #include "net/network.hpp"
@@ -10,6 +16,7 @@
 #include "pushback/maxmin.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/report.hpp"
 #include "util/rng.hpp"
 #include "util/sha256.hpp"
 
@@ -120,6 +127,62 @@ void BM_MaxMinAllocate(benchmark::State& state) {
 }
 BENCHMARK(BM_MaxMinAllocate)->Arg(8)->Arg(64)->Arg(512);
 
+// Deterministic workload for the --json perf record: a fixed event chain
+// plus a fixed router-forwarding run, timed with steady_clock.  The event
+// count is a pure function of the workload; only the rates are host-bound.
+void write_json_record(const std::string& path) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  hbp::sim::Simulator simulator;
+  std::int64_t count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 200000) {
+      simulator.after(hbp::sim::SimTime::micros(10), tick);
+    }
+  };
+  simulator.after(hbp::sim::SimTime::micros(10), tick);
+  simulator.run_all();
+
+  hbp::telemetry::PerfStats perf;
+  perf.wall_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
+  perf.events_executed = simulator.events_executed();
+  perf.peak_rss_bytes = hbp::telemetry::peak_rss_bytes();
+  perf.sim_seconds = simulator.now().to_seconds();
+
+  std::vector<hbp::telemetry::BenchCounter> counters;
+  counters.push_back(
+      {"chain_events", static_cast<double>(simulator.events_executed())});
+  hbp::telemetry::write_bench_record(path, "micro_substrate", counters,
+                                     nullptr, perf);
+  std::printf("\nWrote %s\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled main instead of BENCHMARK_MAIN(): google-benchmark rejects
+// unknown flags, so `--json <path>` / `--json=<path>` is peeled off argv
+// before benchmark::Initialize sees it.
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = std::string(arg.substr(7));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty()) write_json_record(json_path);
+  return 0;
+}

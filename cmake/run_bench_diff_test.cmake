@@ -1,0 +1,47 @@
+# Exercises tools/bench_diff end to end: generates two hbp-bench/1 records
+# from one bench binary (same flags, same seed) and diffs them.  Fails if
+# the diff errors out or reports moved deterministic counters.
+#
+#   cmake -DDIFF_BIN=<binary> "-DDIFF_ARGS=--a=1" -DDIFF_TOOL=<bench_diff.cmake>
+#         -DDIFF_OUT=<workdir> -P run_bench_diff_test.cmake
+foreach(var DIFF_BIN DIFF_TOOL DIFF_OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "${var} not set")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${DIFF_OUT})
+
+foreach(run 1 2)
+  execute_process(
+    COMMAND ${DIFF_BIN} ${DIFF_ARGS} --json ${DIFF_OUT}/rec_${run}.json
+    RESULT_VARIABLE code
+    OUTPUT_QUIET
+    ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "${DIFF_BIN} exited with ${code}\n${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND}
+    -DBENCH_A=${DIFF_OUT}/rec_1.json
+    -DBENCH_B=${DIFF_OUT}/rec_2.json
+    -P ${DIFF_TOOL}
+  RESULT_VARIABLE code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "bench_diff failed (${code})\n${out}\n${err}")
+endif()
+# Plain message() writes to stderr; merge both streams before checking.
+set(all "${out}\n${err}")
+if(all MATCHES "deterministic counters moved")
+  message(FATAL_ERROR
+    "bench_diff flagged moved counters between same-seed runs\n${all}")
+endif()
+if(NOT all MATCHES "wall_seconds" OR NOT all MATCHES "counters:")
+  message(FATAL_ERROR "bench_diff output missing expected sections\n${all}")
+endif()
+
+message(STATUS "bench_diff OK on ${DIFF_BIN}")

@@ -1,0 +1,56 @@
+# End-to-end determinism check for the machine-readable exporters: runs one
+# bench binary twice with the same flags, each time writing a JSON record,
+# and fails unless the two files agree byte-for-byte once truncated at the
+# trailing host-dependent `"perf":` object (the hbp-bench/1 and
+# hbp-run-report/1 layout contract — see src/telemetry/report.hpp).
+#
+#   cmake -DDET_BIN=<binary> "-DDET_ARGS=--a=1" -DDET_FLAG=--json
+#         -DDET_OUT=<workdir> -P run_json_determinism.cmake
+if(NOT DEFINED DET_BIN)
+  message(FATAL_ERROR "DET_BIN not set")
+endif()
+if(NOT DEFINED DET_OUT)
+  message(FATAL_ERROR "DET_OUT not set")
+endif()
+if(NOT DEFINED DET_FLAG)
+  set(DET_FLAG "--json")
+endif()
+
+file(MAKE_DIRECTORY ${DET_OUT})
+
+foreach(run 1 2)
+  set(json_${run} ${DET_OUT}/det_${run}.json)
+  execute_process(
+    COMMAND ${DET_BIN} ${DET_ARGS} ${DET_FLAG} ${json_${run}}
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+      "${DET_BIN} exited with ${code}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  if(NOT EXISTS ${json_${run}})
+    message(FATAL_ERROR "${DET_BIN} did not write ${json_${run}}")
+  endif()
+endforeach()
+
+foreach(run 1 2)
+  file(READ ${json_${run}} content)
+  # Keep only the deterministic prefix: everything before `"perf":`.
+  string(FIND "${content}" "\"perf\":" perf_pos)
+  if(perf_pos EQUAL -1)
+    message(FATAL_ERROR "${json_${run}} has no \"perf\" object")
+  endif()
+  string(SUBSTRING "${content}" 0 ${perf_pos} prefix_${run})
+  if(prefix_${run} STREQUAL "")
+    message(FATAL_ERROR "${json_${run}} has an empty deterministic prefix")
+  endif()
+endforeach()
+
+if(NOT prefix_1 STREQUAL prefix_2)
+  message(FATAL_ERROR
+    "deterministic prefixes differ between two same-seed runs of ${DET_BIN}\n"
+    "compare ${DET_OUT}/det_1.json and ${DET_OUT}/det_2.json")
+endif()
+
+message(STATUS "${DET_BIN} JSON output deterministic (minus perf)")

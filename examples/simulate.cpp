@@ -1,7 +1,7 @@
 // General experiment driver: every knob of the Section-8 scenario exposed
 // as a flag, with an optional CSV timeline for plotting.
 //
-//   ./build/examples/simulate --scheme=hbp --attackers=50 --rate_mbps=0.5 \
+//   ./build/examples/simulate --scheme=hbp --attackers=50 --rate_mbps=0.5
 //       --placement=close --leaves=500 --csv=timeline.csv
 #include <cstdio>
 #include <string>

@@ -1,7 +1,9 @@
 #include "core/defense.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "telemetry/registry.hpp"
 #include "util/assert.hpp"
 
 namespace hbp::core {
@@ -134,7 +136,8 @@ void HbpDefense::on_window_end(int server, std::size_t epoch) {
     // Give the intermediate reports time to arrive, then close the round
     // and schedule the next epoch's direct requests.
     simulator_.after(params_.report_grace,
-                     [this, server] { schedule_direct_requests(server); });
+                     [this, server] { schedule_direct_requests(server); },
+                     "core.defense.round");
   }
 }
 
@@ -178,7 +181,7 @@ void HbpDefense::schedule_direct_requests(int server) {
       requested_[static_cast<std::size_t>(server)][next_epoch].insert(target);
       const int hops = 1 + std::max(0, as_map_.as_hop_distance(home, target));
       control_.send("honeypot_request", hops, [this, m] { deliver_request(m); });
-    });
+    }, "core.defense.direct_request");
   }
 }
 
@@ -282,6 +285,20 @@ void HbpDefense::deliver_report(const IntermediateReport& m) {
   if (server < 0) return;
   progressive_[static_cast<std::size_t>(server)]->on_report(
       m.as, m.stamped_at, simulator_.now());
+}
+
+void HbpDefense::export_telemetry(telemetry::Registry& registry) const {
+  registry.counter("core.defense.activations").add(activations_);
+  registry.counter("core.defense.false_activations").add(false_activations_);
+  registry.counter("core.defense.forged_rejected").add(forged_rejected_);
+  registry.counter("core.defense.bridged_messages").add(bridged_);
+  registry.counter("core.defense.captures").add(captures_.size());
+  for (const auto& [as, hsm] : hsms_) {
+    const std::string prefix = "core.hsm." + std::to_string(as);
+    registry.counter(prefix + ".requests").add(hsm->requests_received());
+    registry.counter(prefix + ".cancels").add(hsm->cancels_received());
+    registry.counter(prefix + ".diverted").add(hsm->packets_diverted());
+  }
 }
 
 void HbpDefense::on_capture(sim::NodeId host, sim::Address dst) {

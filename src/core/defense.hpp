@@ -20,6 +20,10 @@
 #include "net/network.hpp"
 #include "topo/as_map.hpp"
 
+namespace hbp::telemetry {
+class Registry;
+}
+
 namespace hbp::core {
 
 struct HbpParams {
@@ -96,6 +100,10 @@ class HbpDefense {
   const ProgressiveManager& progressive(int server) const {
     return *progressive_[static_cast<std::size_t>(server)];
   }
+
+  // End-of-run snapshot: defense-wide counters ("core.defense.*") and
+  // per-HSM request/cancel/divert counts ("core.hsm.<as>.*").
+  void export_telemetry(telemetry::Registry& registry) const;
 
  private:
   struct ServerWindow {

@@ -68,7 +68,8 @@ void HbpRouterAgent::harvest(sim::Address dst, int switch_port) {
   // cancelled.
   hsm_.defense().simulator().after(
       sim::SimTime::millis(50),
-      [this, dst, switch_port] { harvest(dst, switch_port); });
+      [this, dst, switch_port] { harvest(dst, switch_port); },
+      "core.hsm.harvest");
 }
 
 void HbpRouterAgent::observe(sim::Address dst, int in_port) {
@@ -92,7 +93,8 @@ void HbpRouterAgent::observe(sim::Address dst, int in_port) {
         sw.start_watch(dst);
         hsm_.defense().simulator().after(
             sim::SimTime::millis(50),
-            [this, dst, in_port] { harvest(dst, in_port); });
+            [this, dst, in_port] { harvest(dst, in_port); },
+            "core.hsm.harvest");
       }
       return;  // the harvest loop takes it from here
     }
@@ -220,6 +222,7 @@ void Hsm::remove_divert(sim::Address dst) {
 }
 
 void Hsm::receive_request(const HoneypotRequest& m) {
+  ++requests_received_;
   auto [it, created] = sessions_.try_emplace(m.dst);
   HsmSession& session = it->second;
   session.epoch = m.epoch;
@@ -230,6 +233,7 @@ void Hsm::receive_request(const HoneypotRequest& m) {
 }
 
 void Hsm::receive_cancel(const HoneypotCancel& m) {
+  ++cancels_received_;
   const auto it = sessions_.find(m.dst);
   if (it == sessions_.end()) return;
   HsmSession session = std::move(it->second);

@@ -111,6 +111,8 @@ class Hsm {
   bool session_active(sim::Address dst) const { return sessions_.contains(dst); }
   std::uint64_t packets_diverted() const { return diverted_; }
   std::size_t session_count() const { return sessions_.size(); }
+  std::uint64_t requests_received() const { return requests_received_; }
+  std::uint64_t cancels_received() const { return cancels_received_; }
 
   // Test hook: make one edge router stamp a fixed wrong edge id
   // (compromised-router false-positive analysis, Section 5.1/5.3).
@@ -167,6 +169,8 @@ class Hsm {
   std::map<sim::NodeId, std::unique_ptr<HbpRouterAgent>> agents_;
   std::map<sim::NodeId, int> lies_;  // compromised edge routers (tests)
   std::uint64_t diverted_ = 0;
+  std::uint64_t requests_received_ = 0;
+  std::uint64_t cancels_received_ = 0;
 };
 
 }  // namespace hbp::core

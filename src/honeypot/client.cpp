@@ -40,12 +40,15 @@ sim::Address RoamingClient::next_destination() {
     // skipped until the new key arrives.
     if (!renewing_) {
       renewing_ = true;
-      simulator_.after(params_.renewal_latency, [this] {
-        key_ = subscription_.renew(schedule_.epoch_of(local_time()),
-                                   params_.trust_level);
-        ++renewals_;
-        renewing_ = false;
-      });
+      simulator_.after(
+          params_.renewal_latency,
+          [this] {
+            key_ = subscription_.renew(schedule_.epoch_of(local_time()),
+                                       params_.trust_level);
+            ++renewals_;
+            renewing_ = false;
+          },
+          "honeypot.client.renew");
     }
     ++skipped_;
     return 0;

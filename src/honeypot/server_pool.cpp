@@ -49,7 +49,8 @@ void ServerPool::start() {
   }
   const sim::SimTime first = schedule_.epoch_start(params_.first_epoch);
   simulator_.at(first >= simulator_.now() ? first : simulator_.now(),
-                [this] { on_epoch(params_.first_epoch); });
+                [this] { on_epoch(params_.first_epoch); },
+                "honeypot.pool.epoch");
 }
 
 bool ServerPool::in_active_window(int server, sim::SimTime t) const {
@@ -88,25 +89,33 @@ void ServerPool::on_epoch(std::size_t epoch) {
           schedule_.epoch_start(epoch) + window_start_guard();
       const sim::SimTime w_end =
           schedule_.epoch_end(epoch) - window_end_guard();
-      simulator_.at(w_start, [this, s, epoch] {
-        for (const auto& fn : window_start_) fn(s, epoch);
-      });
-      simulator_.at(w_end, [this, s, epoch] {
-        for (const auto& fn : window_end_) fn(s, epoch);
-      });
+      simulator_.at(
+          w_start,
+          [this, s, epoch] {
+            for (const auto& fn : window_start_) fn(s, epoch);
+          },
+          "honeypot.pool.window");
+      simulator_.at(
+          w_end,
+          [this, s, epoch] {
+            for (const auto& fn : window_end_) fn(s, epoch);
+          },
+          "honeypot.pool.window");
     }
 
     if (active_before && !active_now) {
       // Role change active -> honeypot: checkpoint connections once the
       // grace period of the previous epoch expires.
       simulator_.at(schedule_.epoch_start(epoch) + window_start_guard(),
-                    [this, s] { checkpoint_server(s); });
+                    [this, s] { checkpoint_server(s); },
+                    "honeypot.pool.checkpoint");
     }
   }
 
   if (epoch < params_.last_epoch) {
     simulator_.at(schedule_.epoch_start(epoch + 1),
-                  [this, epoch] { on_epoch(epoch + 1); });
+                  [this, epoch] { on_epoch(epoch + 1); },
+                  "honeypot.pool.epoch");
   }
 }
 

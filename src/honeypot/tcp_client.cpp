@@ -47,7 +47,8 @@ void RoamingTcpClient::on_epoch_boundary() {
   if (wake <= simulator_.now()) {
     wake = simulator_.now() + sim::SimTime::millis(1);
   }
-  simulator_.at(wake, [this] { on_epoch_boundary(); });
+  simulator_.at(wake, [this] { on_epoch_boundary(); },
+                "honeypot.client.epoch");
 }
 
 }  // namespace hbp::honeypot

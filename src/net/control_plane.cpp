@@ -1,5 +1,6 @@
 #include "net/control_plane.hpp"
 
+#include "telemetry/registry.hpp"
 #include "util/assert.hpp"
 
 namespace hbp::net {
@@ -22,12 +23,21 @@ void ControlPlane::send(const std::string& kind, int hops,
     ++lost_;
     return;
   }
-  simulator_.after(sample_latency(hops), std::move(deliver));
+  simulator_.after(sample_latency(hops), std::move(deliver),
+                   "net.control.deliver");
 }
 
 std::uint64_t ControlPlane::messages_sent(const std::string& kind) const {
   const auto it = sent_.find(kind);
   return it == sent_.end() ? 0 : it->second;
+}
+
+void ControlPlane::export_telemetry(telemetry::Registry& registry) const {
+  registry.counter("net.control.total").add(total_);
+  registry.counter("net.control.lost").add(lost_);
+  for (const auto& [kind, count] : sent_) {
+    registry.counter("net.control.sent." + kind).add(count);
+  }
 }
 
 }  // namespace hbp::net

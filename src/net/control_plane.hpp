@@ -20,6 +20,10 @@
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
+namespace hbp::telemetry {
+class Registry;
+}
+
 namespace hbp::net {
 
 class ControlPlane {
@@ -48,6 +52,10 @@ class ControlPlane {
   const std::map<std::string, std::uint64_t>& per_kind() const { return sent_; }
 
   const Params& params() const { return params_; }
+
+  // End-of-run snapshot: per-kind send counts ("net.control.sent.<kind>"),
+  // totals, and losses.
+  void export_telemetry(telemetry::Registry& registry) const;
 
  private:
   sim::Simulator& simulator_;

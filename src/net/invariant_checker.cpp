@@ -134,10 +134,13 @@ void InvariantChecker::expect_ok() {
 
 void InvariantChecker::watch(sim::SimTime interval) {
   sim::Simulator& simulator = network_.simulator();
-  simulator.after(interval, [this, interval] {
-    expect_ok();
-    if (network_.simulator().events_pending() > 0) watch(interval);
-  });
+  simulator.after(
+      interval,
+      [this, interval] {
+        expect_ok();
+        if (network_.simulator().events_pending() > 0) watch(interval);
+      },
+      "net.audit.watch");
 }
 
 }  // namespace hbp::net

@@ -48,8 +48,9 @@ void Link::start_transmission() {
                      ++delivered_;
                      bytes_delivered_ += p.size_bytes;
                      network_.deliver(to_node_, std::move(p), to_port_);
-                   });
-  simulator_.after(tx, [this] { start_transmission(); });
+                   },
+                   "net.link.deliver");
+  simulator_.after(tx, [this] { start_transmission(); }, "net.link.tx");
 }
 
 }  // namespace hbp::net

@@ -1,7 +1,9 @@
 #include "net/network.hpp"
 
 #include <deque>
+#include <string>
 
+#include "telemetry/registry.hpp"
 #include "util/assert.hpp"
 
 namespace hbp::net {
@@ -125,6 +127,31 @@ std::uint64_t Network::total_queue_drops() const {
     }
   }
   return total;
+}
+
+void Network::export_telemetry(telemetry::Registry& registry) const {
+  registry.counter("net.packets.transmitted").add(counters_.transmitted);
+  registry.counter("net.packets.delivered").add(counters_.delivered);
+  registry.counter("net.packets.dropped_ttl").add(counters_.dropped_ttl);
+  registry.counter("net.packets.dropped_filter").add(counters_.dropped_filter);
+  registry.counter("net.queue.drops").add(total_queue_drops());
+
+  auto& peak_hist = registry.histogram("net.queue.peak_bytes");
+  auto& drop_hist = registry.histogram("net.queue.drops_per_queue");
+  for (std::size_t n = 0; n < links_.size(); ++n) {
+    for (std::size_t port = 0; port < links_[n].size(); ++port) {
+      const PacketQueue& q = links_[n][port]->queue();
+      peak_hist.record(static_cast<std::uint64_t>(q.peak_bytes()));
+      if (q.drops() == 0) continue;
+      drop_hist.record(q.drops());
+      const std::string prefix = "net.queue." + nodes_[n]->name() + ":" +
+                                 std::to_string(port);
+      registry.counter(prefix + ".drops").add(q.drops());
+      registry.counter(prefix + ".accepted").add(q.accepted());
+      registry.gauge(prefix + ".peak_bytes")
+          .set(static_cast<double>(q.peak_bytes()));
+    }
+  }
 }
 
 }  // namespace hbp::net

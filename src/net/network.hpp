@@ -15,6 +15,10 @@
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
 
+namespace hbp::telemetry {
+class Registry;
+}
+
 namespace hbp::net {
 
 class Network {
@@ -106,6 +110,13 @@ class Network {
   Counters& counters() { return counters_; }
   // Sums queue drops over all links into counters().dropped_queue.
   std::uint64_t total_queue_drops() const;
+
+  // End-of-run snapshot into the registry: global packet counters,
+  // aggregate queue histograms, and per-queue drop/occupancy series for
+  // every queue that dropped at least one packet ("net.queue.<node>:<port>"
+  // — lossless queues are summarised only in the aggregates to bound the
+  // export size).  Purely passive; never called on the hot path.
+  void export_telemetry(telemetry::Registry& registry) const;
 
  private:
   sim::Simulator& simulator_;

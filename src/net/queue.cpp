@@ -16,6 +16,7 @@ bool DropTailQueue::enqueue(sim::Packet&& p) {
   }
   bytes_ += p.size_bytes;
   count_accept();
+  note_occupancy(bytes_);
   q_.push_back(std::move(p));
   return true;
 }
@@ -82,6 +83,7 @@ bool RedQueue::enqueue(sim::Packet&& p) {
 
   bytes_ += p.size_bytes;
   count_accept();
+  note_occupancy(bytes_);
   q_.push_back(std::move(p));
   return true;
 }

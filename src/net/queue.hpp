@@ -35,6 +35,8 @@ class PacketQueue {
 
   std::uint64_t drops() const { return drops_; }
   std::uint64_t accepted() const { return accepted_; }
+  // High-water mark of the queued byte total (telemetry exports).
+  std::int64_t peak_bytes() const { return peak_bytes_; }
 
   void set_drop_observer(DropObserver obs) { drop_observer_ = std::move(obs); }
 
@@ -44,10 +46,14 @@ class PacketQueue {
     if (drop_observer_) drop_observer_(p);
   }
   void count_accept() { ++accepted_; }
+  void note_occupancy(std::int64_t bytes) {
+    if (bytes > peak_bytes_) peak_bytes_ = bytes;
+  }
 
  private:
   std::uint64_t drops_ = 0;
   std::uint64_t accepted_ = 0;
+  std::int64_t peak_bytes_ = 0;
   DropObserver drop_observer_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "pushback/maxmin.hpp"
+#include "telemetry/registry.hpp"
 #include "util/assert.hpp"
 
 namespace hbp::pushback {
@@ -315,13 +316,15 @@ void PushbackSystem::install(std::span<const sim::NodeId> routers) {
   }
   if (!timer_started_) {
     timer_started_ = true;
-    simulator_.after(params_.interval, [this] { on_timer(); });
+    simulator_.after(params_.interval, [this] { on_timer(); },
+                     "pushback.timer");
   }
 }
 
 void PushbackSystem::on_timer() {
   for (auto& [id, agent] : agents_) agent->on_timer();
-  simulator_.after(params_.interval, [this] { on_timer(); });
+  simulator_.after(params_.interval, [this] { on_timer(); },
+                   "pushback.timer");
 }
 
 void PushbackSystem::set_port_weights(sim::NodeId router,
@@ -383,6 +386,18 @@ std::size_t PushbackSystem::total_sessions() const {
   std::size_t total = 0;
   for (const auto& [id, agent] : agents_) total += agent->active_sessions();
   return total;
+}
+
+void PushbackSystem::export_telemetry(telemetry::Registry& registry) const {
+  registry.counter("pushback.requests_sent").add(requests_);
+  registry.counter("pushback.cancels_sent").add(cancels_);
+  registry.counter("pushback.limited_drops").add(total_limited_drops());
+  registry.gauge("pushback.sessions")
+      .set(static_cast<double>(total_sessions()));
+  auto& per_agent = registry.histogram("pushback.agent.limited_drops");
+  for (const auto& [id, agent] : agents_) {
+    per_agent.record(agent->limited_drops());
+  }
 }
 
 }  // namespace hbp::pushback

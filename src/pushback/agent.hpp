@@ -32,6 +32,10 @@
 #include "pushback/token_bucket.hpp"
 #include "sim/simulator.hpp"
 
+namespace hbp::telemetry {
+class Registry;
+}
+
 namespace hbp::pushback {
 
 struct PushbackParams {
@@ -150,6 +154,10 @@ class PushbackSystem {
   std::uint64_t cancels_sent() const { return cancels_; }
   std::uint64_t total_limited_drops() const;
   std::size_t total_sessions() const;
+
+  // End-of-run snapshot: system-wide counters ("pushback.*") plus a
+  // histogram of per-agent rate-limiter drops.
+  void export_telemetry(telemetry::Registry& registry) const;
 
  private:
   void on_timer();

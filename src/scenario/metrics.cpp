@@ -1,14 +1,21 @@
 #include "scenario/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "telemetry/registry.hpp"
 #include "util/assert.hpp"
 
 namespace hbp::scenario {
 
 ThroughputMeter::ThroughputMeter(sim::Simulator& simulator,
                                  double reference_bps, sim::SimTime bin)
-    : simulator_(simulator), reference_bps_(reference_bps), bin_(bin) {
+    : simulator_(simulator),
+      reference_bps_(reference_bps),
+      bin_(bin),
+      series_(simulator.telemetry().time_series(
+          "scenario.goodput.bytes", bin, telemetry::TimeSeries::Mode::kSum)),
+      total_bytes_(simulator.telemetry().counter("scenario.goodput.total_bytes")) {
   HBP_ASSERT(reference_bps > 0);
   HBP_ASSERT(bin > sim::SimTime::zero());
 }
@@ -19,11 +26,8 @@ void ThroughputMeter::on_delivery(int server, const sim::Packet& p) {
   if (p.type != sim::PacketType::kData && p.type != sim::PacketType::kRequest) {
     return;
   }
-  const auto bin =
-      static_cast<std::size_t>(simulator_.now().nanos() / bin_.nanos());
-  if (bytes_per_bin_.size() <= bin) bytes_per_bin_.resize(bin + 1, 0);
-  bytes_per_bin_[bin] += static_cast<std::uint64_t>(p.size_bytes);
-  total_bytes_ += static_cast<std::uint64_t>(p.size_bytes);
+  series_.record(simulator_.now(), static_cast<double>(p.size_bytes));
+  total_bytes_.add(static_cast<std::uint64_t>(p.size_bytes));
 }
 
 std::vector<ThroughputMeter::Point> ThroughputMeter::timeline(
@@ -33,10 +37,8 @@ std::vector<ThroughputMeter::Point> ThroughputMeter::timeline(
   const auto bins = static_cast<std::size_t>(until_seconds / bin_s);
   out.reserve(bins);
   for (std::size_t b = 0; b < bins; ++b) {
-    const double bytes =
-        b < bytes_per_bin_.size() ? static_cast<double>(bytes_per_bin_[b]) : 0.0;
     out.push_back(Point{static_cast<double>(b) * bin_s,
-                        bytes * 8.0 / bin_s / reference_bps_});
+                        series_.bin_value(b) * 8.0 / bin_s / reference_bps_});
   }
   return out;
 }
@@ -47,18 +49,32 @@ double ThroughputMeter::mean_fraction(double t0, double t1) const {
   const auto b0 = static_cast<std::size_t>(t0 / bin_s);
   const auto b1 = static_cast<std::size_t>(t1 / bin_s);
   double bytes = 0.0;
-  for (std::size_t b = b0; b < b1; ++b) {
-    if (b < bytes_per_bin_.size()) bytes += static_cast<double>(bytes_per_bin_[b]);
-  }
+  for (std::size_t b = b0; b < b1; ++b) bytes += series_.bin_value(b);
   return bytes * 8.0 / (t1 - t0) / reference_bps_;
+}
+
+void CaptureRecorder::attach(telemetry::Registry& registry,
+                             double attack_start_seconds) {
+  attack_start_seconds_ = attack_start_seconds;
+  captured_counter_ = &registry.counter("scenario.capture.captured");
+  false_counter_ = &registry.counter("scenario.capture.false");
+  delay_ms_ = &registry.histogram("scenario.capture.delay_ms");
 }
 
 void CaptureRecorder::on_capture(const core::CaptureEvent& e) {
   events_.push_back(e);
   if (attackers_.contains(e.host)) {
     ++captured_attackers_;
+    if (captured_counter_ != nullptr) captured_counter_->add();
+    if (delay_ms_ != nullptr) {
+      const double ms =
+          (e.when.to_seconds() - attack_start_seconds_) * 1000.0;
+      delay_ms_->record(
+          ms > 0.0 ? static_cast<std::uint64_t>(std::llround(ms)) : 0);
+    }
   } else {
     ++false_captures_;
+    if (false_counter_ != nullptr) false_counter_->add();
   }
 }
 

@@ -1,5 +1,14 @@
 // Experiment metrics: the client-throughput timeline of Fig. 8 and the
 // capture bookkeeping behind Figs. 6/10/11.
+//
+// Both meters are backed by telemetry instruments registered on the
+// simulator's registry, so scenario metrics and substrate metrics flow
+// through one system and appear together in JSON run reports / CSV dumps:
+//   scenario.goodput.bytes        time series (kSum, one bin per interval)
+//   scenario.goodput.total_bytes  counter
+//   scenario.capture.captured     counter (true attacker captures)
+//   scenario.capture.false        counter (innocent hosts cut off)
+//   scenario.capture.delay_ms     histogram (delay from attack start)
 #pragma once
 
 #include <cstdint>
@@ -9,6 +18,7 @@
 #include "core/defense.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/instruments.hpp"
 
 namespace hbp::scenario {
 
@@ -32,14 +42,14 @@ class ThroughputMeter {
   // Mean fraction over [t0, t1).
   double mean_fraction(double t0, double t1) const;
 
-  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t total_bytes() const { return total_bytes_.value(); }
 
  private:
   sim::Simulator& simulator_;
   double reference_bps_;
   sim::SimTime bin_;
-  std::vector<std::uint64_t> bytes_per_bin_;
-  std::uint64_t total_bytes_ = 0;
+  telemetry::TimeSeries& series_;
+  telemetry::Counter& total_bytes_;
 };
 
 // Scores capture events against the ground-truth attacker set.
@@ -48,6 +58,11 @@ class CaptureRecorder {
   void set_attackers(std::set<sim::NodeId> attackers) {
     attackers_ = std::move(attackers);
   }
+
+  // Optional: also publish capture counts and the capture-delay histogram
+  // (delays measured from `attack_start_seconds`, in milliseconds) as
+  // scenario.capture.* instruments.
+  void attach(telemetry::Registry& registry, double attack_start_seconds);
 
   // Wire as an HbpDefense capture listener.
   void on_capture(const core::CaptureEvent& e);
@@ -69,6 +84,11 @@ class CaptureRecorder {
   std::vector<core::CaptureEvent> events_;
   std::size_t captured_attackers_ = 0;
   std::size_t false_captures_ = 0;
+
+  double attack_start_seconds_ = 0.0;
+  telemetry::Counter* captured_counter_ = nullptr;
+  telemetry::Counter* false_counter_ = nullptr;
+  telemetry::Log2Histogram* delay_ms_ = nullptr;
 };
 
 }  // namespace hbp::scenario

@@ -1,6 +1,8 @@
 #include "scenario/string_experiment.hpp"
 
+#include <chrono>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/defense.hpp"
@@ -19,7 +21,9 @@ namespace hbp::scenario {
 
 StringResult run_string_experiment(const StringExperimentConfig& config,
                                    std::uint64_t seed) {
+  const auto wall_start = std::chrono::steady_clock::now();
   sim::Simulator simulator;
+  if (config.profile) simulator.enable_profiling();
   net::Network network(simulator);
 
   topo::StringParams sp;
@@ -116,6 +120,27 @@ StringResult run_string_experiment(const StringExperimentConfig& config,
   result.reports = control.messages_sent("intermediate_report");
   result.trace_digest = simulator.trace().value();
   result.events_executed = simulator.events_executed();
+
+  network.export_telemetry(simulator.telemetry());
+  control.export_telemetry(simulator.telemetry());
+  defense.export_telemetry(simulator.telemetry());
+  if (const telemetry::LoopProfiler* prof = simulator.profiler()) {
+    for (const auto& ts : prof->by_type()) {
+      simulator.telemetry()
+          .counter(std::string("sim.dispatch.") + ts.label)
+          .add(ts.count);
+    }
+    result.perf.peak_queue_depth = prof->peak_queue_depth();
+    result.perf.event_types = prof->by_type();
+  }
+  result.telemetry = simulator.telemetry_ptr();
+  result.perf.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  result.perf.events_executed = simulator.events_executed();
+  result.perf.peak_rss_bytes = telemetry::peak_rss_bytes();
+  result.perf.sim_seconds = simulator.now().to_seconds();
   return result;
 }
 
@@ -139,7 +164,11 @@ StringSummary run_string_replicated(const StringExperimentConfig& config,
 
   StringSummary summary;
   summary.runs = runs;
+  summary.metrics = std::make_shared<telemetry::Registry>();
   for (const StringResult& r : results) {
+    summary.events_executed += r.events_executed;
+    summary.sim_seconds += r.perf.sim_seconds;
+    if (r.telemetry) summary.metrics->merge(*r.telemetry);
     if (r.captured) {
       ++summary.captured;
       summary.capture_time.add(r.capture_seconds);

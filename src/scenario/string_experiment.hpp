@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
+#include "telemetry/report.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -25,6 +27,7 @@ struct StringExperimentConfig {
   std::optional<double> follower_delay;  // optional follower attack
   double control_loss_probability = 0.0;  // lossy control plane
   double horizon_seconds = 2000.0;   // give up after this long
+  bool profile = false;              // event-loop profiling (observational)
 };
 
 struct StringResult {
@@ -38,6 +41,10 @@ struct StringResult {
   // bit-identically; the golden regression tests pin them.
   std::uint64_t trace_digest = 0;
   std::uint64_t events_executed = 0;
+
+  // Instrument tree + host-dependent measurements (see TreeResult).
+  std::shared_ptr<const telemetry::Registry> telemetry;
+  telemetry::PerfStats perf;
 };
 
 StringResult run_string_experiment(const StringExperimentConfig& config,
@@ -49,6 +56,11 @@ struct StringSummary {
   util::RunningStats capture_time;
   int runs = 0;
   int captured = 0;
+
+  // Totals over all runs (bench perf records).
+  std::uint64_t events_executed = 0;
+  double sim_seconds = 0.0;
+  std::shared_ptr<telemetry::Registry> metrics;
 };
 StringSummary run_string_replicated(const StringExperimentConfig& config,
                                     int runs, std::uint64_t base_seed,

@@ -1,7 +1,9 @@
 #include "scenario/tree_experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "honeypot/client.hpp"
@@ -40,7 +42,9 @@ TreeResult run_tree_experiment(const TreeExperimentConfig& config,
   HBP_ASSERT(config.n_clients + config.n_attackers <=
              static_cast<int>(config.tree.leaf_count));
 
+  const auto wall_start = std::chrono::steady_clock::now();
   sim::Simulator simulator;
+  if (config.profile) simulator.enable_profiling();
   net::Network network(simulator);
   util::Rng topo_rng(util::derive_seed(seed, 1));
   util::Rng place_rng(util::derive_seed(seed, 2));
@@ -154,6 +158,7 @@ TreeResult run_tree_experiment(const TreeExperimentConfig& config,
   pool.add_delivery_listener(
       [&meter](int server, const sim::Packet& p) { meter.on_delivery(server, p); });
   CaptureRecorder recorder;
+  recorder.attach(simulator.telemetry(), config.attack_start);
   {
     std::set<sim::NodeId> attacker_nodes;
     for (const std::size_t i : attacker_slots) {
@@ -351,6 +356,30 @@ TreeResult run_tree_experiment(const TreeExperimentConfig& config,
   result.events_executed = simulator.events_executed();
   result.trace_digest = simulator.trace().value();
 
+  // End-of-run telemetry snapshots from every subsystem, plus profiler
+  // dispatch counts (deterministic — the wall times stay in result.perf).
+  network.export_telemetry(simulator.telemetry());
+  control.export_telemetry(simulator.telemetry());
+  if (defense) defense->export_telemetry(simulator.telemetry());
+  if (pushback_system) pushback_system->export_telemetry(simulator.telemetry());
+  if (const telemetry::LoopProfiler* prof = simulator.profiler()) {
+    for (const auto& ts : prof->by_type()) {
+      simulator.telemetry()
+          .counter(std::string("sim.dispatch.") + ts.label)
+          .add(ts.count);
+    }
+    result.perf.peak_queue_depth = prof->peak_queue_depth();
+    result.perf.event_types = prof->by_type();
+  }
+  result.telemetry = simulator.telemetry_ptr();
+  result.perf.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  result.perf.events_executed = simulator.events_executed();
+  result.perf.peak_rss_bytes = telemetry::peak_rss_bytes();
+  result.perf.sim_seconds = config.sim_seconds;
+
   net::InvariantChecker audit(network);
   audit.expect_ok();
   return result;
@@ -373,7 +402,11 @@ TreeSummary run_replicated(const TreeExperimentConfig& config, int seeds,
   }
 
   TreeSummary summary;
+  summary.metrics = std::make_shared<telemetry::Registry>();
   for (const TreeResult& r : results) {
+    summary.events_executed += r.events_executed;
+    summary.sim_seconds += r.perf.sim_seconds;
+    if (r.telemetry) summary.metrics->merge(*r.telemetry);
     summary.throughput.add(r.mean_client_throughput);
     if (r.mean_capture_delay >= 0) summary.capture_delay.add(r.mean_capture_delay);
     summary.capture_fraction.add(

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "net/control_plane.hpp"
 #include "pushback/agent.hpp"
 #include "scenario/metrics.hpp"
+#include "telemetry/report.hpp"
 #include "topo/tree.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -71,6 +73,11 @@ struct TreeExperimentConfig {
   // throughput of TCP flows is degraded."
   int tcp_downloads = 0;
 
+  // Event-loop profiling (per-label dispatch counts and wall time, peak
+  // queue depth).  Purely observational: enabling it never changes the
+  // trace digest.
+  bool profile = false;
+
   // Defense knobs.
   core::HbpParams hbp;
   double hbp_deploy_fraction = 1.0;  // <1 => random partial deployment
@@ -104,6 +111,14 @@ struct TreeResult {
   // Trace-digest fingerprint of the run (see sim/trace_digest.hpp); pinned
   // by the golden regression tests.
   std::uint64_t trace_digest = 0;
+
+  // Full instrument tree of the run (scenario.* metrics plus net/pushback/
+  // core snapshots); outlives the simulator.  Feed to render_run_report().
+  std::shared_ptr<const telemetry::Registry> telemetry;
+  // Host-dependent measurements (wall time, RSS, profiler stats when
+  // config.profile was set).  Everything here is excluded from the
+  // deterministic part of exported reports.
+  telemetry::PerfStats perf;
 };
 
 TreeResult run_tree_experiment(const TreeExperimentConfig& config,
@@ -115,6 +130,12 @@ struct TreeSummary {
   util::RunningStats capture_delay;
   util::RunningStats capture_fraction;
   util::RunningStats false_captures;
+
+  // Totals over all replications (bench perf records).
+  std::uint64_t events_executed = 0;
+  double sim_seconds = 0.0;
+  // Instrument trees of all replications merged in seed order.
+  std::shared_ptr<telemetry::Registry> metrics;
 };
 TreeSummary run_replicated(const TreeExperimentConfig& config, int seeds,
                            std::uint64_t base_seed,

@@ -15,10 +15,10 @@ struct EntryGreater {
 };
 }  // namespace
 
-EventId EventQueue::push(SimTime at, EventFn fn) {
+EventId EventQueue::push(SimTime at, EventFn fn, const char* label) {
   const EventId id = states_.size();
   states_.push_back(State::kPending);
-  heap_.push_back(Entry{at, next_seq_++, id, std::move(fn)});
+  heap_.push_back(Entry{at, next_seq_++, id, std::move(fn), label});
   std::push_heap(heap_.begin(), heap_.end(), EntryGreater{});
   ++live_count_;
   return id;
@@ -37,7 +37,7 @@ SimTime EventQueue::next_time() const {
   return heap_.front().at;
 }
 
-std::pair<SimTime, EventFn> EventQueue::pop() {
+EventQueue::PoppedEvent EventQueue::pop() {
   drop_cancelled_top();
   HBP_ASSERT_MSG(!heap_.empty(), "pop() on empty queue");
   std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
@@ -45,7 +45,7 @@ std::pair<SimTime, EventFn> EventQueue::pop() {
   heap_.pop_back();
   states_[e.id] = State::kFired;
   --live_count_;
-  return {e.at, std::move(e.fn)};
+  return PoppedEvent{e.at, std::move(e.fn), e.label};
 }
 
 bool EventQueue::cancel(EventId id) {

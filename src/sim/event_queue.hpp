@@ -19,8 +19,10 @@ using EventId = std::uint64_t;
 
 class EventQueue {
  public:
-  // Returns an id usable with cancel().
-  EventId push(SimTime at, EventFn fn);
+  // Returns an id usable with cancel().  `label` is an optional static
+  // string naming the event type for the loop profiler (scheduling sites
+  // pass string literals; the queue only stores the pointer).
+  EventId push(SimTime at, EventFn fn, const char* label = nullptr);
 
   bool empty() const { return live_count_ == 0; }
   std::size_t size() const { return live_count_; }
@@ -28,8 +30,14 @@ class EventQueue {
   // Time of the earliest live event; queue must be non-empty.
   SimTime next_time() const;
 
+  struct PoppedEvent {
+    SimTime at;
+    EventFn fn;
+    const char* label;  // as passed to push(); may be null
+  };
+
   // Pops and returns the earliest live event.
-  std::pair<SimTime, EventFn> pop();
+  PoppedEvent pop();
 
   // Lazily cancels a pending event; cancelling an already-fired or unknown
   // id is a no-op and returns false.
@@ -41,6 +49,7 @@ class EventQueue {
     std::uint64_t seq;
     EventId id;
     EventFn fn;
+    const char* label;
 
     bool operator>(const Entry& other) const {
       if (at != other.at) return at > other.at;

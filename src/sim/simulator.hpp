@@ -3,14 +3,25 @@
 // All model components hold a reference to one Simulator and schedule
 // closures on it; the main loop pops events in time order until the horizon
 // or until the queue drains.
+//
+// Observability: every Simulator lazily owns a telemetry::Registry that
+// components use to register always-on instruments, and an optional
+// LoopProfiler (enable_profiling()) that attributes dispatch counts and
+// wall time to the scheduling-site labels passed to at()/after().  Neither
+// schedules events nor consumes randomness, so enabling them leaves trace
+// digests bit-identical; with profiling disabled the dispatch loop pays a
+// single never-taken branch.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 #include "sim/trace_digest.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/registry.hpp"
 
 namespace hbp::sim {
 
@@ -22,8 +33,12 @@ class Simulator {
 
   SimTime now() const { return now_; }
 
-  EventId at(SimTime when, EventFn fn);
-  EventId after(SimTime delay, EventFn fn) { return at(now_ + delay, fn); }
+  // `label` names the event type for the loop profiler; pass a string
+  // literal (the pointer is stored, not the contents).
+  EventId at(SimTime when, EventFn fn, const char* label = nullptr);
+  EventId after(SimTime delay, EventFn fn, const char* label = nullptr) {
+    return at(now_ + delay, std::move(fn), label);
+  }
   bool cancel(EventId id) { return queue_.cancel(id); }
 
   // Runs events with time <= horizon; the clock ends at the horizon even if
@@ -47,11 +62,28 @@ class Simulator {
   TraceDigest& trace() { return trace_; }
   const TraceDigest& trace() const { return trace_; }
 
+  // Per-run instrument registry, created on first use (a Simulator that
+  // never touches telemetry allocates nothing).
+  telemetry::Registry& telemetry();
+  // Shared handle so results can outlive the Simulator (scenario runners
+  // hand it to TreeResult/StringResult).
+  std::shared_ptr<telemetry::Registry> telemetry_ptr();
+
+  // Turns on event-loop profiling (dispatch counts + wall time per label,
+  // peak queue depth).  Idempotent.
+  void enable_profiling();
+  bool profiling_enabled() const { return profiler_ != nullptr; }
+  const telemetry::LoopProfiler* profiler() const { return profiler_.get(); }
+
  private:
+  void dispatch(EventQueue::PoppedEvent&& ev);
+
   EventQueue queue_;
   SimTime now_ = SimTime::zero();
   std::uint64_t executed_ = 0;
   TraceDigest trace_;
+  std::shared_ptr<telemetry::Registry> telemetry_;
+  std::unique_ptr<telemetry::LoopProfiler> profiler_;
 };
 
 }  // namespace hbp::sim

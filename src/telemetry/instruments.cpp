@@ -1,0 +1,132 @@
+#include "telemetry/instruments.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace hbp::telemetry {
+
+std::size_t Log2Histogram::bucket_of(std::uint64_t v) {
+  // 0 -> 0; otherwise 1 + floor(log2 v), i.e. the bit width.
+  return static_cast<std::size_t>(std::bit_width(v));
+}
+
+std::uint64_t Log2Histogram::bucket_lo(std::size_t b) {
+  HBP_ASSERT(b < kBuckets);
+  return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t Log2Histogram::bucket_hi(std::size_t b) {
+  HBP_ASSERT(b < kBuckets);
+  if (b == 0) return 0;
+  if (b == kBuckets - 1) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << b) - 1;
+}
+
+void Log2Histogram::record(std::uint64_t v) {
+  ++buckets_[bucket_of(v)];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += static_cast<double>(v);
+}
+
+double Log2Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based.
+  const double rank = q * static_cast<double>(count_ - 1) + 1.0;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets_[b];
+    if (rank <= static_cast<double>(seen)) {
+      const double lo = static_cast<double>(bucket_lo(b));
+      const double hi = static_cast<double>(bucket_hi(b));
+      const double inside = (rank - before) / static_cast<double>(buckets_[b]);
+      const double v = lo + (hi - lo) * inside;
+      return std::clamp(v, static_cast<double>(min_), static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+TimeSeries::TimeSeries(sim::SimTime interval, Mode mode)
+    : interval_(interval), mode_(mode) {
+  HBP_ASSERT(interval > sim::SimTime::zero());
+}
+
+void TimeSeries::record(sim::SimTime t, double v) {
+  HBP_ASSERT(t >= sim::SimTime::zero());
+  const auto b = static_cast<std::size_t>(t.nanos() / interval_.nanos());
+  if (bins_.size() <= b) bins_.resize(b + 1);
+  Bin& bin = bins_[b];
+  switch (mode_) {
+    case Mode::kSum:
+      bin.value += v;
+      break;
+    case Mode::kMax:
+      bin.value = bin.touched ? std::max(bin.value, v) : v;
+      break;
+    case Mode::kLast:
+      bin.value = v;
+      break;
+  }
+  bin.touched = true;
+}
+
+double TimeSeries::bin_value(std::size_t b) const {
+  return b < bins_.size() && bins_[b].touched ? bins_[b].value : 0.0;
+}
+
+std::vector<double> TimeSeries::values(std::size_t min_bins) const {
+  std::vector<double> out(std::max(bins_.size(), min_bins), 0.0);
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    if (bins_[b].touched) out[b] = bins_[b].value;
+  }
+  return out;
+}
+
+void TimeSeries::merge(const TimeSeries& other) {
+  HBP_ASSERT(interval_ == other.interval_ && mode_ == other.mode_);
+  if (bins_.size() < other.bins_.size()) bins_.resize(other.bins_.size());
+  for (std::size_t b = 0; b < other.bins_.size(); ++b) {
+    const Bin& o = other.bins_[b];
+    if (!o.touched) continue;
+    Bin& bin = bins_[b];
+    switch (mode_) {
+      case Mode::kSum:
+        bin.value += o.value;
+        break;
+      case Mode::kMax:
+        bin.value = bin.touched ? std::max(bin.value, o.value) : o.value;
+        break;
+      case Mode::kLast:
+        bin.value = o.value;
+        break;
+    }
+    bin.touched = true;
+  }
+}
+
+}  // namespace hbp::telemetry

@@ -1,0 +1,152 @@
+#include "telemetry/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace hbp::telemetry {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::format_double(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  // Integral doubles inside the exactly-representable range print as
+  // integers; everything else uses %.17g (round-trip exact, deterministic).
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void JsonWriter::newline_indent() {
+  out_ += '\n';
+  out_.append(static_cast<std::size_t>(depth_) * 2, ' ');
+}
+
+void JsonWriter::prepare_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_in_scope_) out_ += ',';
+  if (depth_ > 0) newline_indent();
+  first_in_scope_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prepare_value();
+  out_ += '{';
+  ++depth_;
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  HBP_ASSERT(depth_ > 0);
+  --depth_;
+  if (!first_in_scope_) newline_indent();
+  out_ += '}';
+  first_in_scope_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prepare_value();
+  out_ += '[';
+  ++depth_;
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  HBP_ASSERT(depth_ > 0);
+  --depth_;
+  if (!first_in_scope_) newline_indent();
+  out_ += ']';
+  first_in_scope_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  HBP_ASSERT_MSG(!after_key_, "two keys in a row");
+  if (!first_in_scope_) out_ += ',';
+  newline_indent();
+  first_in_scope_ = false;
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  prepare_value();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  prepare_value();
+  out_ += format_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  prepare_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  prepare_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  prepare_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view rendered) {
+  prepare_value();
+  out_ += rendered;
+  return *this;
+}
+
+}  // namespace hbp::telemetry

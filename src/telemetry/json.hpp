@@ -1,0 +1,59 @@
+// Minimal streaming JSON writer (no external dependencies).
+//
+// Pretty-prints with two-space indentation and one key per line, and
+// formats numbers deterministically, so two renders of the same data are
+// byte-identical — the property the run-report determinism tests pin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hbp::telemetry {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Key inside an object; must be followed by a value or begin_*.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  // Splices an already-rendered JSON value (number, bool, null) verbatim.
+  JsonWriter& raw(std::string_view rendered);
+
+  // Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+  // Escapes a string per RFC 8259 (quotes not included).
+  static std::string escape(std::string_view s);
+  // Shortest-roundtrip-ish decimal rendering used for all doubles.
+  static std::string format_double(double v);
+
+ private:
+  void prepare_value();
+  void newline_indent();
+
+  std::string out_;
+  int depth_ = 0;
+  bool first_in_scope_ = true;
+  bool after_key_ = false;
+};
+
+}  // namespace hbp::telemetry

@@ -1,0 +1,47 @@
+#include "telemetry/profiler.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hbp::telemetry {
+
+LoopProfiler::TypeStats& LoopProfiler::slot(const char* label) {
+  if (label == nullptr) label = "other";
+  // Identity compare first (labels are string literals shared by the
+  // scheduling site), content compare as a fallback for identical literals
+  // duplicated across translation units.
+  for (TypeStats& s : stats_) {
+    if (s.label == label || std::strcmp(s.label, label) == 0) {
+      cached_label_ = label;
+      cached_ = &s;
+      return s;
+    }
+  }
+  stats_.push_back(TypeStats{label, 0, 0});
+  // Growth may have moved the vector; refresh the cache.
+  cached_label_ = label;
+  cached_ = &stats_.back();
+  return stats_.back();
+}
+
+std::uint64_t LoopProfiler::total_events() const {
+  std::uint64_t total = 0;
+  for (const TypeStats& s : stats_) total += s.count;
+  return total;
+}
+
+std::uint64_t LoopProfiler::total_wall_ns() const {
+  std::uint64_t total = 0;
+  for (const TypeStats& s : stats_) total += s.wall_ns;
+  return total;
+}
+
+std::vector<LoopProfiler::TypeStats> LoopProfiler::by_type() const {
+  std::vector<TypeStats> out = stats_;
+  std::sort(out.begin(), out.end(), [](const TypeStats& a, const TypeStats& b) {
+    return std::strcmp(a.label, b.label) < 0;
+  });
+  return out;
+}
+
+}  // namespace hbp::telemetry

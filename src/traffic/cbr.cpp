@@ -25,7 +25,7 @@ void CbrSource::start() {
       sim::SimTime::seconds(rng_.uniform() * interval_.to_seconds());
   const sim::SimTime first =
       params_.start > simulator_.now() ? params_.start : simulator_.now();
-  simulator_.at(first + phase, [this] { tick(); });
+  simulator_.at(first + phase, [this] { tick(); }, "traffic.cbr.tick");
 }
 
 void CbrSource::tick() {
@@ -47,7 +47,7 @@ void CbrSource::tick() {
     }
   }
 
-  simulator_.after(interval_, [this] { tick(); });
+  simulator_.after(interval_, [this] { tick(); }, "traffic.cbr.tick");
 }
 
 }  // namespace hbp::traffic

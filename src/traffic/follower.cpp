@@ -11,7 +11,7 @@ void FollowerShaper::on_target_honeypot_start() {
       source_.pause();
       ++evasions_;
     }
-  });
+  }, "traffic.follower");
 }
 
 void FollowerShaper::on_target_honeypot_end() {

@@ -20,18 +20,18 @@ void OnOffShaper::start() {
   source_.pause();
   const sim::SimTime first =
       first_on_ > simulator_.now() ? first_on_ : simulator_.now();
-  simulator_.at(first, [this] { begin_burst(); });
+  simulator_.at(first, [this] { begin_burst(); }, "traffic.onoff");
 }
 
 void OnOffShaper::begin_burst() {
   ++bursts_;
   source_.resume();
-  simulator_.after(t_on_, [this] { end_burst(); });
+  simulator_.after(t_on_, [this] { end_burst(); }, "traffic.onoff");
 }
 
 void OnOffShaper::end_burst() {
   source_.pause();
-  simulator_.after(t_off_, [this] { begin_burst(); });
+  simulator_.after(t_off_, [this] { begin_burst(); }, "traffic.onoff");
 }
 
 }  // namespace hbp::traffic

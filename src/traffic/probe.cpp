@@ -22,7 +22,7 @@ ProbeSource::ProbeSource(sim::Simulator& simulator, net::Host& host,
 void ProbeSource::start() {
   const sim::SimTime first =
       start_ > simulator_.now() ? start_ : simulator_.now();
-  simulator_.at(first, [this] { tick(); });
+  simulator_.at(first, [this] { tick(); }, "traffic.probe.tick");
 }
 
 void ProbeSource::tick() {
@@ -38,7 +38,7 @@ void ProbeSource::tick() {
   host_.send(std::move(p));
 
   simulator_.after(sim::SimTime::seconds(rng_.exponential(1.0 / rate_)),
-                   [this] { tick(); });
+                   [this] { tick(); }, "traffic.probe.tick");
 }
 
 }  // namespace hbp::traffic

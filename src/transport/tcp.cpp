@@ -170,11 +170,14 @@ void TcpSender::arm_rto() {
   }
   rto_armed_ = true;
   const auto generation = connection_generation_;
-  rto_event_ = simulator_.after(rto_, [this, generation] {
-    if (generation != connection_generation_) return;
-    rto_armed_ = false;
-    on_rto();
-  });
+  rto_event_ = simulator_.after(
+      rto_,
+      [this, generation] {
+        if (generation != connection_generation_) return;
+        rto_armed_ = false;
+        on_rto();
+      },
+      "transport.tcp.rto");
 }
 
 void TcpSender::on_rto() {

@@ -32,7 +32,7 @@ TEST(EventQueue, PopsInTimeOrder) {
   q.push(SimTime::seconds(3), [&] { order.push_back(3); });
   q.push(SimTime::seconds(1), [&] { order.push_back(1); });
   q.push(SimTime::seconds(2), [&] { order.push_back(2); });
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().fn();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -42,7 +42,7 @@ TEST(EventQueue, TieBreaksByInsertionOrder) {
   for (int i = 0; i < 10; ++i) {
     q.push(SimTime::seconds(5), [&order, i] { order.push_back(i); });
   }
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().fn();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
@@ -66,7 +66,7 @@ TEST(EventQueue, CancelPreventsExecution) {
 TEST(EventQueue, CancelFiredEventFails) {
   EventQueue q;
   const EventId id = q.push(SimTime::seconds(1), [] {});
-  q.pop().second();
+  q.pop().fn();
   EXPECT_FALSE(q.cancel(id));
 }
 
@@ -90,7 +90,7 @@ TEST(EventQueue, CancelledEventsSkippedAmongLive) {
   q.push(SimTime::seconds(3), [&] { order.push_back(3); });
   q.cancel(id);
   EXPECT_EQ(q.size(), 2u);
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().fn();
   EXPECT_EQ(order, (std::vector<int>{1, 3}));
 }
 
@@ -117,8 +117,8 @@ TEST_P(EventQueueModelSweep, MatchesReferenceModel) {
       ASSERT_EQ(q.empty(), model.empty());
       if (model.empty()) continue;
       const auto best = std::min_element(model.begin(), model.end());
-      auto [t, fn] = q.pop();
-      ASSERT_EQ(t.nanos(), std::get<0>(*best));
+      const auto ev = q.pop();
+      ASSERT_EQ(ev.at.nanos(), std::get<0>(*best));
       model.erase(best);
     } else {  // cancel a random (possibly stale) id
       if (live_ids.empty()) continue;
@@ -151,9 +151,9 @@ TEST(EventQueue, StressRandomOrdering) {
   }
   SimTime last = SimTime::zero();
   while (!q.empty()) {
-    auto [t, fn] = q.pop();
-    EXPECT_GE(t, last);
-    last = t;
+    const auto ev = q.pop();
+    EXPECT_GE(ev.at, last);
+    last = ev.at;
   }
 }
 

@@ -1,0 +1,81 @@
+#include "telemetry/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hbp::telemetry {
+namespace {
+
+TEST(JsonWriter, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, FormatsDoublesDeterministically) {
+  // Integral doubles render as integers (no trailing .0 noise) ...
+  EXPECT_EQ(JsonWriter::format_double(0.0), "0");
+  EXPECT_EQ(JsonWriter::format_double(42.0), "42");
+  EXPECT_EQ(JsonWriter::format_double(-3.0), "-3");
+  // ... and non-integral doubles round-trip exactly.
+  const std::string third = JsonWriter::format_double(1.0 / 3.0);
+  EXPECT_EQ(std::stod(third), 1.0 / 3.0);
+}
+
+TEST(JsonWriter, NestedStructure) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", "x");
+  w.key("values").begin_array();
+  w.value(std::uint64_t{1});
+  w.value(2.5);
+  w.value(true);
+  w.end_array();
+  w.key("nested").begin_object();
+  w.kv("k", std::int64_t{-7});
+  w.end_object();
+  w.end_object();
+
+  const std::string want =
+      "{\n"
+      "  \"name\": \"x\",\n"
+      "  \"values\": [\n"
+      "    1,\n"
+      "    2.5,\n"
+      "    true\n"
+      "  ],\n"
+      "  \"nested\": {\n"
+      "    \"k\": -7\n"
+      "  }\n"
+      "}";
+  EXPECT_EQ(w.str(), want);
+}
+
+TEST(JsonWriter, EmptyContainersAndRaw) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("empty_obj").begin_object().end_object();
+  w.key("empty_arr").begin_array().end_array();
+  w.key("raw").raw("null");
+  w.end_object();
+  EXPECT_NE(w.str().find("\"empty_obj\": {}"), std::string::npos);
+  EXPECT_NE(w.str().find("\"empty_arr\": []"), std::string::npos);
+  EXPECT_NE(w.str().find("\"raw\": null"), std::string::npos);
+}
+
+TEST(JsonWriter, TwoRendersAreByteIdentical) {
+  auto render = [] {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("a", 0.1 + 0.2);
+    w.kv("b", std::uint64_t{18446744073709551615ull});
+    w.end_object();
+    return w.str();
+  };
+  EXPECT_EQ(render(), render());
+}
+
+}  // namespace
+}  // namespace hbp::telemetry
