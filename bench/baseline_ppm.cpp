@@ -55,8 +55,8 @@ PpmRun run_ppm(int hops, double rate_bps, bool compromised,
   }
 
   marking::PpmCollector collector;
-  static_cast<net::Host&>(network.node(topo.server))
-      .set_receiver([&collector](const sim::Packet& p) { collector.collect(p); });
+  auto on_packet = [&collector](const sim::Packet& p) { collector.collect(p); };
+  static_cast<net::Host&>(network.node(topo.server)).set_receiver(on_packet);
 
   util::Rng attacker_rng(seed + 1);
   traffic::CbrParams cbr;

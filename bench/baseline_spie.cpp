@@ -87,14 +87,15 @@ int main(int argc, char** argv) {
     const std::size_t attacker = tree.leaves_by_distance.back();
     sim::Packet victim_copy;
     sim::SimTime arrival;
+    auto on_packet = [&](const sim::Packet& p) {
+      // Evaluator-level ground truth: pick out the probe among the
+      // still-flowing client traffic.
+      if (!p.is_attack) return;
+      victim_copy = p;
+      arrival = simulator.now();
+    };
     static_cast<net::Host&>(network.node(tree.servers[0]))
-        .set_receiver([&](const sim::Packet& p) {
-          // Evaluator-level ground truth: pick out the probe among the
-          // still-flowing client traffic.
-          if (!p.is_attack) return;
-          victim_copy = p;
-          arrival = simulator.now();
-        });
+        .set_receiver(on_packet);
     sim::Packet attack;
     attack.dst = tree.server_addrs[0];
     attack.src = 0xbad;

@@ -64,7 +64,8 @@ Accuracy run(int n_attackers, int n_clients, std::size_t leaves,
 
   auto& victim = static_cast<net::Host&>(network.node(tree.servers[0]));
   sim::Packet last;
-  victim.set_receiver([&](const sim::Packet& p) { last = p; });
+  auto on_packet = [&](const sim::Packet& p) { last = p; };
+  victim.set_receiver(on_packet);
   auto probe = [&](std::size_t leaf) {
     sim::Packet p;
     p.dst = tree.server_addrs[0];

@@ -42,10 +42,10 @@ void HbpDefense::start() {
   }
 
   pool_.add_honeypot_window_listener(
-      [this](int server, std::size_t epoch) { on_window_start(server, epoch); },
-      [this](int server, std::size_t epoch) { on_window_end(server, epoch); });
+      honeypot::ServerPool::WindowFn::bind<&HbpDefense::on_window_start>(*this),
+      honeypot::ServerPool::WindowFn::bind<&HbpDefense::on_window_end>(*this));
   pool_.add_honeypot_hit_listener(
-      [this](int server, const sim::Packet& p) { on_honeypot_hit(server, p); });
+      honeypot::ServerPool::HitFn::bind<&HbpDefense::on_honeypot_hit>(*this));
 }
 
 Hsm* HbpDefense::hsm(net::AsId as) {

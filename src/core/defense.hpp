@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -19,6 +18,7 @@
 #include "net/control_plane.hpp"
 #include "net/network.hpp"
 #include "topo/as_map.hpp"
+#include "util/function_ref.hpp"
 
 namespace hbp::telemetry {
 class Registry;
@@ -60,8 +60,9 @@ class HbpDefense {
   // Creates HSMs for deploying ASs and registers server-pool listeners.
   void start();
 
-  using CaptureFn = std::function<void(const CaptureEvent&)>;
-  void add_capture_listener(CaptureFn fn) { capture_listeners_.push_back(std::move(fn)); }
+  // Non-owning: the listener callable must outlive the defense run.
+  using CaptureFn = util::function_ref<void(const CaptureEvent&)>;
+  void add_capture_listener(CaptureFn fn) { capture_listeners_.push_back(fn); }
 
   // --- accessors used by HSMs ---
   const HbpParams& params() const { return params_; }

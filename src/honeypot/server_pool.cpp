@@ -41,11 +41,15 @@ void ServerPool::enable_tcp() {
 }
 
 void ServerPool::start() {
+  // The hosts keep non-owning refs to these thunks; reserve so push_back
+  // never relocates them.
+  receivers_.clear();
+  receivers_.reserve(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const int server = static_cast<int>(i);
     auto& host = static_cast<net::Host&>(network_.node(nodes_[i]));
-    host.set_receiver(
-        [this, server](const sim::Packet& p) { handle_packet(server, p); });
+    receivers_.push_back(Receiver{this, server});
+    host.set_receiver(receivers_.back());
   }
   const sim::SimTime first = schedule_.epoch_start(params_.first_epoch);
   simulator_.at(first >= simulator_.now() ? first : simulator_.now(),
@@ -192,8 +196,8 @@ void ServerPool::handle_packet(int server, const sim::Packet& p) {
 }
 
 void ServerPool::add_honeypot_window_listener(WindowFn on_start, WindowFn on_end) {
-  if (on_start) window_start_.push_back(std::move(on_start));
-  if (on_end) window_end_.push_back(std::move(on_end));
+  if (on_start) window_start_.push_back(on_start);
+  if (on_end) window_end_.push_back(on_end);
 }
 
 }  // namespace hbp::honeypot

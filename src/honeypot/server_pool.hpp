@@ -14,7 +14,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <vector>
 
@@ -27,6 +26,7 @@
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 #include "transport/tcp.hpp"
+#include "util/function_ref.hpp"
 
 namespace hbp::honeypot {
 
@@ -39,9 +39,11 @@ struct ServerPoolParams {
 
 class ServerPool {
  public:
-  using WindowFn = std::function<void(int server, std::size_t epoch)>;
-  using HitFn = std::function<void(int server, const sim::Packet&)>;
-  using DeliveryFn = std::function<void(int server, const sim::Packet&)>;
+  // Non-owning listener refs: the callables must outlive the pool's run
+  // (bind defense member functions, or name the lambdas at the call site).
+  using WindowFn = util::function_ref<void(int server, std::size_t epoch)>;
+  using HitFn = util::function_ref<void(int server, const sim::Packet&)>;
+  using DeliveryFn = util::function_ref<void(int server, const sim::Packet&)>;
 
   ServerPool(sim::Simulator& simulator, net::Network& network,
              const Schedule& schedule, std::vector<sim::NodeId> server_nodes,
@@ -62,8 +64,8 @@ class ServerPool {
 
   // --- defense / metrics hooks (multiple listeners allowed) ---
   void add_honeypot_window_listener(WindowFn on_start, WindowFn on_end);
-  void add_honeypot_hit_listener(HitFn fn) { hit_.push_back(std::move(fn)); }
-  void add_delivery_listener(DeliveryFn fn) { delivery_.push_back(std::move(fn)); }
+  void add_honeypot_hit_listener(HitFn fn) { hit_.push_back(fn); }
+  void add_delivery_listener(DeliveryFn fn) { delivery_.push_back(fn); }
 
   // --- queries ---
   int server_count() const { return static_cast<int>(nodes_.size()); }
@@ -96,6 +98,16 @@ class ServerPool {
   std::uint64_t connections_migrated() const { return migrated_; }
 
  private:
+  // Stored target for the per-server Host receiver ref: lives in
+  // receivers_ (reserved once in start()) for the pool's lifetime.
+  struct Receiver {
+    ServerPool* pool;
+    int server;
+    void operator()(const sim::Packet& p) const {
+      pool->handle_packet(server, p);
+    }
+  };
+
   void on_epoch(std::size_t epoch);
   void handle_packet(int server, const sim::Packet& p);
   void checkpoint_server(int server);
@@ -109,6 +121,7 @@ class ServerPool {
   ServerPoolParams params_;
 
   Blacklist blacklist_;
+  std::vector<Receiver> receivers_;
   std::vector<WindowFn> window_start_;
   std::vector<WindowFn> window_end_;
   std::vector<HitFn> hit_;

@@ -16,7 +16,7 @@ sim::SimTime ControlPlane::sample_latency(int hops) {
 }
 
 void ControlPlane::send(const std::string& kind, int hops,
-                        std::function<void()> deliver) {
+                        sim::Event deliver) {
   ++sent_[kind];
   ++total_;
   if (params_.loss_probability > 0.0 && rng_.bernoulli(params_.loss_probability)) {

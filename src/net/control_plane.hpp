@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <string>
 
@@ -41,7 +40,9 @@ class ControlPlane {
   // Schedules `deliver` after `hops` control-plane hops of latency; the
   // message may be lost (deliver never runs) with the configured
   // probability.  `kind` is an accounting label (e.g. "honeypot_request").
-  void send(const std::string& kind, int hops, std::function<void()> deliver);
+  // Owning closure: temporaries are fine, and large signed messages may
+  // legitimately spill the event's inline buffer (this is not a packet path).
+  void send(const std::string& kind, int hops, sim::Event deliver);
 
   // Latency draw for a given hop count (used by analysis-facing tests).
   sim::SimTime sample_latency(int hops);

@@ -2,23 +2,23 @@
 // its single access port.
 #pragma once
 
-#include <functional>
-
 #include "net/node.hpp"
 #include "sim/packet.hpp"
+#include "util/function_ref.hpp"
 
 namespace hbp::net {
 
 class Host final : public Node {
  public:
-  using ReceiveFn = std::function<void(const sim::Packet&)>;
+  // Non-owning: the receiver callable must outlive the registration.
+  using ReceiveFn = util::function_ref<void(const sim::Packet&)>;
 
   explicit Host(std::string name) : Node(std::move(name), NodeKind::kHost) {}
 
   sim::Address address() const { return address_; }
   void set_address(sim::Address a) { address_ = a; }
 
-  void set_receiver(ReceiveFn fn) { receiver_ = std::move(fn); }
+  void set_receiver(ReceiveFn fn) { receiver_ = fn; }
 
   void receive(sim::Packet&& p, int in_port) override;
 

@@ -43,13 +43,15 @@ void Link::start_transmission() {
   // Delivery after serialization + propagation; the transmitter frees up
   // after serialization only.
   sim::Packet delivered_packet = std::move(*next);
-  simulator_.after(tx + delay_,
-                   [this, p = std::move(delivered_packet)]() mutable {
-                     ++delivered_;
-                     bytes_delivered_ += p.size_bytes;
-                     network_.deliver(to_node_, std::move(p), to_port_);
-                   },
-                   "net.link.deliver");
+  auto deliver = [this, p = std::move(delivered_packet)]() mutable {
+    ++delivered_;
+    bytes_delivered_ += p.size_bytes;
+    network_.deliver(to_node_, std::move(p), to_port_);
+  };
+  // The packet-path closure must stay in the event's inline buffer: a heap
+  // fallback here would put an allocation on every forwarded packet.
+  static_assert(sim::Event::fits_inline<decltype(deliver)>());
+  simulator_.after(tx + delay_, std::move(deliver), "net.link.deliver");
   simulator_.after(tx, [this] { start_transmission(); }, "net.link.tx");
 }
 

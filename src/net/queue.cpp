@@ -32,7 +32,7 @@ std::optional<sim::Packet> DropTailQueue::dequeue() {
 
 std::int64_t DropTailQueue::recount_bytes() const {
   std::int64_t total = 0;
-  for (const sim::Packet& p : q_) total += p.size_bytes;
+  q_.for_each([&total](const sim::Packet& p) { total += p.size_bytes; });
   return total;
 }
 
@@ -99,7 +99,7 @@ std::optional<sim::Packet> RedQueue::dequeue() {
 
 std::int64_t RedQueue::recount_bytes() const {
   std::int64_t total = 0;
-  for (const sim::Packet& p : q_) total += p.size_bytes;
+  q_.for_each([&total](const sim::Packet& p) { total += p.size_bytes; });
   return total;
 }
 

@@ -5,17 +5,20 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
 
 #include "sim/packet.hpp"
+#include "util/function_ref.hpp"
+#include "util/ring_buffer.hpp"
 
 namespace hbp::net {
 
 // Called with every packet the queue drops (overflow or RED early drop).
-using DropObserver = std::function<void(const sim::Packet&)>;
+// Non-owning: the observer callable must outlive the queue registration
+// (name the lambda, or bind a member function of a long-lived component).
+using DropObserver = util::function_ref<void(const sim::Packet&)>;
 
 class PacketQueue {
  public:
@@ -38,7 +41,7 @@ class PacketQueue {
   // High-water mark of the queued byte total (telemetry exports).
   std::int64_t peak_bytes() const { return peak_bytes_; }
 
-  void set_drop_observer(DropObserver obs) { drop_observer_ = std::move(obs); }
+  void set_drop_observer(DropObserver obs) { drop_observer_ = obs; }
 
  protected:
   void count_drop(const sim::Packet& p) {
@@ -71,7 +74,7 @@ class DropTailQueue final : public PacketQueue {
  private:
   std::int64_t capacity_bytes_;
   std::int64_t bytes_ = 0;
-  std::deque<sim::Packet> q_;
+  util::RingBuffer<sim::Packet> q_;
 };
 
 // Random Early Detection (Floyd & Jacobson 1993), byte mode, with an
@@ -106,7 +109,7 @@ class RedQueue final : public PacketQueue {
   double avg_ = 0.0;
   std::uint64_t count_since_drop_ = 0;
   std::uint64_t rng_state_;
-  std::deque<sim::Packet> q_;
+  util::RingBuffer<sim::Packet> q_;
 };
 
 using QueueFactory = std::function<std::unique_ptr<PacketQueue>()>;

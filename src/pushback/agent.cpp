@@ -13,14 +13,15 @@ PushbackAgent::PushbackAgent(PushbackSystem& system, net::Router& router)
   ports_.resize(router.port_count());
   router_.add_filter(this);
   router_.add_tap(this);
+  // The queues keep non-owning refs to these thunks; reserve so push_back
+  // never relocates them.
+  drop_thunks_.reserve(router.port_count());
   for (std::size_t p = 0; p < router.port_count(); ++p) {
+    drop_thunks_.push_back(DropThunk{this, p});
     system_.network()
         .link(router.id(), static_cast<int>(p))
         .queue()
-        .set_drop_observer([this, p](const sim::Packet& dropped) {
-          ports_[p].dropped_bytes +=
-              static_cast<std::uint64_t>(dropped.size_bytes);
-        });
+        .set_drop_observer(drop_thunks_.back());
   }
 }
 

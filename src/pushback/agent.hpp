@@ -93,6 +93,16 @@ class PushbackAgent final : public net::PacketFilter, public net::ForwardTap {
     std::uint64_t arrived_bytes = 0;   // offered to the output queue
     std::uint64_t dropped_bytes = 0;   // dropped by the output queue
   };
+  // Stored target for the per-port queue drop-observer ref: lives in
+  // drop_thunks_ (reserved once in the constructor) for the agent's lifetime.
+  struct DropThunk {
+    PushbackAgent* agent;
+    std::size_t port;
+    void operator()(const sim::Packet& dropped) const {
+      agent->ports_[port].dropped_bytes +=
+          static_cast<std::uint64_t>(dropped.size_bytes);
+    }
+  };
   struct Session {
     double limit_bps = 0.0;
     int depth = 0;
@@ -113,6 +123,7 @@ class PushbackAgent final : public net::PacketFilter, public net::ForwardTap {
   PushbackSystem& system_;
   net::Router& router_;
   std::vector<PortWindow> ports_;
+  std::vector<DropThunk> drop_thunks_;
   // Window accounting keyed by aggregate signature (destination prefix).
   std::map<std::pair<AggregateKey, int>, std::uint64_t> bytes_by_agg_outport_;
   std::map<std::pair<AggregateKey, int>, std::uint64_t> bytes_by_agg_inport_;

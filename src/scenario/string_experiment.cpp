@@ -22,7 +22,7 @@ namespace hbp::scenario {
 StringResult run_string_experiment(const StringExperimentConfig& config,
                                    std::uint64_t seed) {
   const auto wall_start = std::chrono::steady_clock::now();
-  sim::Simulator simulator;
+  sim::Simulator simulator(config.scheduler);
   if (config.profile) simulator.enable_profiling();
   net::Network network(simulator);
 
@@ -65,12 +65,14 @@ StringResult run_string_experiment(const StringExperimentConfig& config,
   defense.start();
 
   StringResult result;
-  defense.add_capture_listener([&](const core::CaptureEvent& e) {
+  // Named (not a temporary): the defense keeps a non-owning ref for the run.
+  auto on_capture = [&](const core::CaptureEvent& e) {
     if (e.host == topo.attacker_host && !result.captured) {
       result.captured = true;
       result.capture_seconds = e.when.to_seconds();
     }
-  });
+  };
+  defense.add_capture_listener(on_capture);
 
   pool.start();
 
@@ -88,6 +90,13 @@ StringResult run_string_experiment(const StringExperimentConfig& config,
 
   std::unique_ptr<traffic::OnOffShaper> shaper;
   std::unique_ptr<traffic::FollowerShaper> follower;
+  // Named (not temporaries): the pool keeps non-owning refs for the run.
+  auto on_follow_start = [&follower](int, std::size_t) {
+    follower->on_target_honeypot_start();
+  };
+  auto on_follow_end = [&follower](int, std::size_t) {
+    follower->on_target_honeypot_end();
+  };
   if (config.onoff_t_on) {
     shaper = std::make_unique<traffic::OnOffShaper>(
         simulator, attacker, sim::SimTime::seconds(*config.onoff_t_on),
@@ -96,10 +105,7 @@ StringResult run_string_experiment(const StringExperimentConfig& config,
   } else if (config.follower_delay) {
     follower = std::make_unique<traffic::FollowerShaper>(
         simulator, attacker, sim::SimTime::seconds(*config.follower_delay));
-    traffic::FollowerShaper* f = follower.get();
-    pool.add_honeypot_window_listener(
-        [f](int, std::size_t) { f->on_target_honeypot_start(); },
-        [f](int, std::size_t) { f->on_target_honeypot_end(); });
+    pool.add_honeypot_window_listener(on_follow_start, on_follow_end);
   }
   attacker.start();
 

@@ -7,6 +7,7 @@
 #include <memory>
 #include <optional>
 
+#include "sim/event_queue.hpp"
 #include "telemetry/report.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -28,6 +29,9 @@ struct StringExperimentConfig {
   double control_loss_probability = 0.0;  // lossy control plane
   double horizon_seconds = 2000.0;   // give up after this long
   bool profile = false;              // event-loop profiling (observational)
+  // Pending-event-set backend; both realise the same (time, seq) total
+  // order, so the trace digest is identical under either.
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kBinaryHeap;
 };
 
 struct StringResult {

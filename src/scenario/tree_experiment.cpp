@@ -43,7 +43,7 @@ TreeResult run_tree_experiment(const TreeExperimentConfig& config,
              static_cast<int>(config.tree.leaf_count));
 
   const auto wall_start = std::chrono::steady_clock::now();
-  sim::Simulator simulator;
+  sim::Simulator simulator(config.scheduler);
   if (config.profile) simulator.enable_profiling();
   net::Network network(simulator);
   util::Rng topo_rng(util::derive_seed(seed, 1));
@@ -155,8 +155,11 @@ TreeResult run_tree_experiment(const TreeExperimentConfig& config,
 
   // --- metrics ---
   ThroughputMeter meter(simulator, config.tree.bottleneck_bps);
-  pool.add_delivery_listener(
-      [&meter](int server, const sim::Packet& p) { meter.on_delivery(server, p); });
+  // Named (not temporaries): pool/defense keep non-owning refs for the run.
+  auto on_delivery = [&meter](int server, const sim::Packet& p) {
+    meter.on_delivery(server, p);
+  };
+  pool.add_delivery_listener(on_delivery);
   CaptureRecorder recorder;
   recorder.attach(simulator.telemetry(), config.attack_start);
   {
@@ -218,7 +221,8 @@ TreeResult run_tree_experiment(const TreeExperimentConfig& config,
                                                  pool, tree.as_map, hbp);
     defense->start();
     defense->add_capture_listener(
-        [&recorder](const core::CaptureEvent& e) { recorder.on_capture(e); });
+        core::HbpDefense::CaptureFn::bind<&CaptureRecorder::on_capture>(
+            recorder));
   }
 
   pool.start();
@@ -250,6 +254,26 @@ TreeResult run_tree_experiment(const TreeExperimentConfig& config,
   std::vector<std::unique_ptr<traffic::CbrSource>> attackers;
   std::vector<std::unique_ptr<traffic::OnOffShaper>> shapers;
   std::vector<std::unique_ptr<traffic::FollowerShaper>> followers;
+  // Stored targets for the pool's non-owning window-listener refs (follower
+  // attacks only); reserved so push_back never relocates them.
+  struct FollowStart {
+    traffic::FollowerShaper* shaper;
+    int target;
+    void operator()(int server, std::size_t) const {
+      if (server == target) shaper->on_target_honeypot_start();
+    }
+  };
+  struct FollowEnd {
+    traffic::FollowerShaper* shaper;
+    int target;
+    void operator()(int server, std::size_t) const {
+      if (server == target) shaper->on_target_honeypot_end();
+    }
+  };
+  std::vector<FollowStart> follow_starts;
+  std::vector<FollowEnd> follow_ends;
+  follow_starts.reserve(attacker_slots.size());
+  follow_ends.reserve(attacker_slots.size());
   for (std::size_t a = 0; a < attacker_slots.size(); ++a) {
     const std::size_t leaf = attacker_slots[a];
     auto& host = static_cast<net::Host&>(network.node(tree.leaf_hosts[leaf]));
@@ -285,13 +309,10 @@ TreeResult run_tree_experiment(const TreeExperimentConfig& config,
           simulator, *attackers.back(),
           sim::SimTime::seconds(*config.follower_delay)));
       traffic::FollowerShaper* shaper = followers.back().get();
-      pool.add_honeypot_window_listener(
-          [shaper, target_index](int server, std::size_t) {
-            if (server == target_index) shaper->on_target_honeypot_start();
-          },
-          [shaper, target_index](int server, std::size_t) {
-            if (server == target_index) shaper->on_target_honeypot_end();
-          });
+      follow_starts.push_back(FollowStart{shaper, target_index});
+      follow_ends.push_back(FollowEnd{shaper, target_index});
+      pool.add_honeypot_window_listener(follow_starts.back(),
+                                        follow_ends.back());
       attackers.back()->start();
     } else {
       attackers.back()->start();

@@ -1,0 +1,29 @@
+// The simulator's owning event closure.
+//
+// An Event stores its callable in a 120-byte in-place buffer — sized so the
+// packet path's worst closure (a component pointer plus a full ~88-byte
+// sim::Packet moved into the capture) stays inline — and never allocates
+// for targets that fit.  Oversized targets (control-plane closures carrying
+// signed messages) fall back to one heap allocation; packet-path scheduling
+// sites enforce the inline contract with
+//
+//   static_assert(sim::Event::fits_inline<decltype(fn)>());
+//
+// so a Packet growing past the buffer is a compile error at the hot site
+// rather than a silent allocation regression.
+#pragma once
+
+#include "util/small_fn.hpp"
+
+namespace hbp::sim {
+
+// The ISSUE/DESIGN contract is "at least 64 bytes, packet closures inline";
+// see the static_asserts below and in net/link.cpp.
+inline constexpr std::size_t kEventInlineBytes = 120;
+
+using Event = util::SmallFn<kEventInlineBytes>;
+
+static_assert(Event::kInlineSize >= 64,
+              "event small-buffer contract: >= 64 inline bytes");
+
+}  // namespace hbp::sim

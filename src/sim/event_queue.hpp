@@ -1,28 +1,50 @@
 // Pending-event set for the discrete-event engine.
 //
-// A binary min-heap keyed on (time, insertion sequence): events scheduled
-// for the same instant fire in the order they were scheduled, which keeps
-// simulations deterministic.
+// Two scheduler backends behind one interface, selectable per run:
+//
+//  - kBinaryHeap: a binary min-heap of 24-byte index records keyed on
+//    (time, insertion sequence).
+//  - kCalendar: a calendar queue (Brown 1988) — a power-of-two ring of
+//    day-buckets, each kept sorted by (time, insertion sequence), with the
+//    bucket count and width re-tuned as the population changes.
+//
+// Both backends realise the exact same total order — events fire by (time,
+// insertion sequence) — so a run's trace digest is byte-identical under
+// either; the golden regression tests pin that down.
+//
+// Event closures themselves never move through the ordering structure: they
+// live in a slab of recycled slots addressed by the index records, and ids
+// carry a per-slot generation so stale ids and stale index records are
+// rejected in O(1).  Steady-state push/pop/cancel performs zero heap
+// allocations once the slab and the ordering structure have reached their
+// peak size.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <utility>
 #include <vector>
 
+#include "sim/event.hpp"
 #include "sim/time.hpp"
 
 namespace hbp::sim {
 
-using EventFn = std::function<void()>;
 using EventId = std::uint64_t;
+
+enum class SchedulerKind : std::uint8_t { kBinaryHeap, kCalendar };
 
 class EventQueue {
  public:
+  explicit EventQueue(SchedulerKind kind = SchedulerKind::kBinaryHeap);
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  SchedulerKind kind() const { return kind_; }
+
   // Returns an id usable with cancel().  `label` is an optional static
   // string naming the event type for the loop profiler (scheduling sites
   // pass string literals; the queue only stores the pointer).
-  EventId push(SimTime at, EventFn fn, const char* label = nullptr);
+  EventId push(SimTime at, Event fn, const char* label = nullptr);
 
   bool empty() const { return live_count_ == 0; }
   std::size_t size() const { return live_count_; }
@@ -32,39 +54,103 @@ class EventQueue {
 
   struct PoppedEvent {
     SimTime at;
-    EventFn fn;
+    Event fn;
     const char* label;  // as passed to push(); may be null
   };
 
   // Pops and returns the earliest live event.
   PoppedEvent pop();
 
-  // Lazily cancels a pending event; cancelling an already-fired or unknown
-  // id is a no-op and returns false.
+  // Cancels a pending event, destroying its closure and recycling its slot
+  // immediately; cancelling an already-fired or unknown id is a no-op and
+  // returns false.
   bool cancel(EventId id);
 
- private:
-  struct Entry {
-    SimTime at;
-    std::uint64_t seq;
-    EventId id;
-    EventFn fn;
-    const char* label;
+  // --- bounded-memory introspection (regression tests) ---
 
-    bool operator>(const Entry& other) const {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
+  // Slots ever created; bounded by the peak number of concurrently pending
+  // events (slots recycle through a free list, never accumulate).
+  std::size_t slot_capacity() const { return slots_.size(); }
+  // Index records still inside the ordering structure, live + stale.
+  // Stale records (from cancellations) are dropped when they surface and
+  // compacted away whenever they outnumber the live ones.
+  std::size_t backlog_items() const;
+  std::size_t stale_items() const { return stale_count_; }
+
+ private:
+  // 24-byte ordering record; the closure stays in the slab.
+  struct Item {
+    std::int64_t at_ns;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+
+    bool operator<(const Item& o) const {
+      if (at_ns != o.at_ns) return at_ns < o.at_ns;
+      return seq < o.seq;
     }
+    bool operator>(const Item& o) const { return o < *this; }
   };
 
-  enum class State : std::uint8_t { kPending, kFired, kCancelled };
+  struct Slot {
+    Event fn;
+    const char* label = nullptr;
+    std::uint32_t gen = 0;        // bumped on every free
+    std::uint32_t next_free = 0;  // free-list link
+    bool occupied = false;
+  };
 
-  void drop_cancelled_top() const;
+  static constexpr std::uint32_t kNoFree = 0xffffffffu;
 
-  mutable std::vector<Entry> heap_;
-  std::vector<State> states_;  // indexed by EventId
+  bool item_live(const Item& it) const {
+    const Slot& s = slots_[it.slot];
+    return s.occupied && s.gen == it.gen;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
+  void maybe_compact();
+
+  // Removes and returns the earliest live item (backend dispatch).
+  Item take_min();
+  // Earliest live item without removing it.
+  const Item& peek_min() const;
+
+  // --- binary-heap backend ---
+  void heap_insert(const Item& it);
+  void heap_prune_top() const;
+  void heap_compact();
+
+  // --- calendar backend ---
+  void cal_insert(const Item& it);
+  void cal_rebuild(std::size_t bucket_count);
+  void cal_position(std::int64_t at_ns) const;
+  // Locates the bucket holding the minimum live item; returns nullptr when
+  // no live item exists.  Prunes stale bucket fronts as it scans.
+  const Item* cal_find_min() const;
+  std::size_t cal_bucket_of(std::int64_t at_ns) const {
+    return static_cast<std::size_t>(
+               static_cast<std::uint64_t>(at_ns) >> cal_shift_) &
+           (cal_buckets_.size() - 1);
+  }
+
+  SchedulerKind kind_;
+
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoFree;
   std::uint64_t next_seq_ = 0;
   std::size_t live_count_ = 0;
+  mutable std::size_t stale_count_ = 0;
+
+  mutable std::vector<Item> heap_;
+
+  mutable std::vector<std::vector<Item>> cal_buckets_;
+  mutable std::size_t cal_items_ = 0;       // live + stale records stored
+  std::uint32_t cal_shift_ = 20;            // bucket width = 2^shift ns
+  mutable std::size_t cal_cursor_ = 0;      // current day bucket
+  mutable std::int64_t cal_bucket_top_ = 0;  // upper time bound of cursor day
+  mutable std::size_t cal_found_ = 0;       // bucket located by peek
+  mutable bool cal_found_valid_ = false;
 };
 
 }  // namespace hbp::sim

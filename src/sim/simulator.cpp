@@ -4,7 +4,7 @@
 
 namespace hbp::sim {
 
-EventId Simulator::at(SimTime when, EventFn fn, const char* label) {
+EventId Simulator::at(SimTime when, Event fn, const char* label) {
   HBP_ASSERT_MSG(when >= now_, "cannot schedule an event in the past");
   return queue_.push(when, std::move(fn), label);
 }

@@ -27,16 +27,18 @@ namespace hbp::sim {
 
 class Simulator {
  public:
-  Simulator() = default;
+  explicit Simulator(SchedulerKind scheduler = SchedulerKind::kBinaryHeap)
+      : queue_(scheduler) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const { return now_; }
+  SchedulerKind scheduler() const { return queue_.kind(); }
 
   // `label` names the event type for the loop profiler; pass a string
   // literal (the pointer is stored, not the contents).
-  EventId at(SimTime when, EventFn fn, const char* label = nullptr);
-  EventId after(SimTime delay, EventFn fn, const char* label = nullptr) {
+  EventId at(SimTime when, Event fn, const char* label = nullptr);
+  EventId after(SimTime delay, Event fn, const char* label = nullptr) {
     return at(now_ + delay, std::move(fn), label);
   }
   bool cancel(EventId id) { return queue_.cancel(id); }

@@ -12,7 +12,7 @@ namespace hbp::transport {
 TcpSender::TcpSender(sim::Simulator& simulator, net::Host& host,
                      const TcpParams& params)
     : simulator_(simulator), host_(host), params_(params), rto_(params.initial_rto) {
-  host_.set_receiver([this](const sim::Packet& p) { on_receive(p); });
+  host_.set_receiver(net::Host::ReceiveFn::bind<&TcpSender::on_receive>(*this));
 }
 
 void TcpSender::connect(sim::Address dst) {
@@ -206,7 +206,8 @@ TcpReceiver::TcpReceiver(sim::Simulator& simulator, net::Host& host)
     : simulator_(simulator), host_(host) {}
 
 void TcpReceiver::attach() {
-  host_.set_receiver([this](const sim::Packet& p) { handle(p); });
+  // handle() returns bool; the ref's void trampoline discards it.
+  host_.set_receiver(net::Host::ReceiveFn::bind<&TcpReceiver::handle>(*this));
 }
 
 bool TcpReceiver::handle(const sim::Packet& p) {

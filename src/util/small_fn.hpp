@@ -1,0 +1,127 @@
+// Move-only owning `void()` callable with an in-place small-buffer store.
+//
+// The common simulator closure — a component pointer plus a moved-in Packet
+// — fits the buffer, so constructing, moving, and destroying one performs
+// zero heap allocations.  Targets larger than the buffer (rare control-plane
+// closures carrying signed messages) fall back to the heap; packet-path
+// scheduling sites pin their closures inline with
+// `static_assert(sim::Event::fits_inline<decltype(fn)>())`.
+//
+// Dispatch is vtable-free: one pointer to a static per-type operations
+// record (invoke / relocate / destroy), resolved at construction.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace hbp::util {
+
+template <std::size_t Capacity>
+class SmallFn {
+ public:
+  static constexpr std::size_t kInlineSize = Capacity;
+
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F, typename D = std::remove_cvref_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  SmallFn(F&& f) {  // NOLINT(runtime/explicit)
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOpsFor<D>;
+    } else {
+      void* p = new D(std::forward<F>(f));
+      std::memcpy(buf_, &p, sizeof(void*));
+      ops_ = &kHeapOpsFor<D>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { steal(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void operator()() { ops_->invoke(target()); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  // True when a target of type F is stored in the inline buffer (no heap).
+  template <typename F>
+  static constexpr bool fits_inline() {
+    using D = std::remove_cvref_t<F>;
+    return sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs dst from src and destroys src (inline targets only).
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void*);
+    bool heap;
+  };
+
+  template <typename T>
+  static constexpr Ops kInlineOpsFor{
+      [](void* p) { (*static_cast<T*>(p))(); },
+      [](void* src, void* dst) {
+        ::new (dst) T(std::move(*static_cast<T*>(src)));
+        static_cast<T*>(src)->~T();
+      },
+      [](void* p) { static_cast<T*>(p)->~T(); },
+      /*heap=*/false};
+
+  template <typename T>
+  static constexpr Ops kHeapOpsFor{
+      [](void* p) { (*static_cast<T*>(p))(); },
+      nullptr,
+      [](void* p) { delete static_cast<T*>(p); },
+      /*heap=*/true};
+
+  void* target() noexcept {
+    if (ops_->heap) {
+      void* p;
+      std::memcpy(&p, buf_, sizeof(void*));
+      return p;
+    }
+    return buf_;
+  }
+
+  void steal(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ == nullptr) return;
+    if (ops_->heap) {
+      std::memcpy(buf_, other.buf_, sizeof(void*));
+    } else {
+      ops_->relocate(other.buf_, buf_);
+    }
+    other.ops_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(target());
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace hbp::util

@@ -28,7 +28,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -40,8 +40,7 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+void ThreadPool::parallel_for(std::size_t n, function_ref<void(std::size_t)> fn) {
   if (threads_.empty() || n <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
@@ -56,28 +55,29 @@ void ThreadPool::parallel_for(std::size_t n,
     std::mutex mutex;
     std::condition_variable cv;
     std::size_t n;
-    const std::function<void(std::size_t)>* fn;
+    function_ref<void(std::size_t)> fn;
   };
   auto ctx = std::make_shared<Context>();
   ctx->n = n;
-  ctx->fn = &fn;  // valid: we block below until all n items are done
+  ctx->fn = fn;  // valid: we block below until all n items are done
 
   auto work = [ctx] {
     for (;;) {
       const std::size_t i = ctx->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= ctx->n) break;
-      (*ctx->fn)(i);
+      ctx->fn(i);
       if (ctx->done.fetch_add(1, std::memory_order_acq_rel) + 1 == ctx->n) {
         std::lock_guard lock(ctx->mutex);
         ctx->cv.notify_all();
       }
     }
   };
+  static_assert(Task::fits_inline<decltype(work)>());
 
   {
     std::lock_guard lock(mutex_);
     for (std::size_t i = 0; i < threads_.size(); ++i) {
-      queue_.emplace_back(work);
+      queue_.push_back(Task(work));
     }
   }
   cv_.notify_all();

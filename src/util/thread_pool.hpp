@@ -9,11 +9,13 @@
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/function_ref.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/small_fn.hpp"
 
 namespace hbp::util {
 
@@ -30,13 +32,19 @@ class ThreadPool {
 
   // Runs fn(i) for i in [0, n) across the pool and blocks until all
   // complete.  With no worker threads this executes inline, serially.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  // Synchronous: the callable only has to outlive this call, so passing a
+  // temporary lambda is fine.
+  void parallel_for(std::size_t n, function_ref<void(std::size_t)> fn);
 
  private:
+  // Queued tasks are small (a shared_ptr to the batch context); the ring
+  // recycles its slots, so steady-state dispatch never touches the allocator.
+  using Task = SmallFn<64>;
+
   void worker_loop();
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
+  RingBuffer<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -67,12 +67,12 @@ struct PoolFixture : public ::testing::Test {
 
 TEST_F(PoolFixture, HoneypotWindowsFireForInactiveEpochs) {
   int starts = 0, ends = 0;
-  pool->add_honeypot_window_listener(
-      [&](int server, std::size_t epoch) {
-        EXPECT_FALSE(schedule->is_active(server, epoch));
-        ++starts;
-      },
-      [&](int, std::size_t) { ++ends; });
+  auto on_start = [&](int server, std::size_t epoch) {
+    EXPECT_FALSE(schedule->is_active(server, epoch));
+    ++starts;
+  };
+  auto on_end = [&](int, std::size_t) { ++ends; };
+  pool->add_honeypot_window_listener(on_start, on_end);
   pool->start();
   simulator.run_until(sim::SimTime::seconds(50));  // 10 epochs
   // 2 honeypots per epoch x 10 epochs.
@@ -103,12 +103,12 @@ TEST_F(PoolFixture, ClientAlwaysHitsActiveServers) {
 TEST_F(PoolFixture, AttackOnFixedServerHitsHoneypotWindows) {
   pool->start();
   int hits = 0;
-  pool->add_honeypot_hit_listener(
-      [&](int server, const sim::Packet& p) {
-        EXPECT_EQ(pool->address(server), p.dst);
-        EXPECT_TRUE(p.is_attack);
-        ++hits;
-      });
+  auto on_hit = [&](int server, const sim::Packet& p) {
+    EXPECT_EQ(pool->address(server), p.dst);
+    EXPECT_TRUE(p.is_attack);
+    ++hits;
+  };
+  pool->add_honeypot_hit_listener(on_hit);
   traffic::CbrParams params;
   params.rate_bps = 0.8e6;
   params.is_attack = true;

@@ -16,6 +16,8 @@ namespace {
 struct PpmFixture : public ::testing::Test {
   void SetUp() override { build(6); }
 
+  void collect(const sim::Packet& p) { collector.collect(p); }
+
   void build(int hops) {
     simulator = std::make_unique<sim::Simulator>();
     network = std::make_unique<net::Network>(*simulator);
@@ -38,7 +40,7 @@ struct PpmFixture : public ::testing::Test {
 
     auto& server = static_cast<net::Host&>(network->node(topo.server));
     server.set_receiver(
-        [this](const sim::Packet& p) { collector.collect(p); });
+        net::Host::ReceiveFn::bind<&PpmFixture::collect>(*this));
 
     attacker_rng = std::make_unique<util::Rng>(32);
     traffic::CbrParams cbr;

@@ -35,10 +35,12 @@ struct SpieFixture : public ::testing::Test {
     tracer = std::make_unique<SpieTracer>(*network, agent_map);
 
     static_cast<net::Host&>(network->node(topo.server))
-        .set_receiver([this](const sim::Packet& p) {
-          last_packet = p;
-          last_arrival = simulator->now();
-        });
+        .set_receiver(net::Host::ReceiveFn::bind<&SpieFixture::record>(*this));
+  }
+
+  void record(const sim::Packet& p) {
+    last_packet = p;
+    last_arrival = simulator->now();
   }
 
   // Sends one packet from the attacker and returns its digest+time.

@@ -50,10 +50,11 @@ struct PiFixture : public ::testing::Test {
   sim::Packet send_and_capture(net::Host* from, bool attack) {
     sim::Packet captured;
     bool got = false;
-    victim->set_receiver([&](const sim::Packet& p) {
+    auto on_packet = [&](const sim::Packet& p) {
       captured = p;
       got = true;
-    });
+    };
+    victim->set_receiver(on_packet);
     sim::Packet p;
     p.dst = victim->address();
     p.size_bytes = 100;
@@ -86,7 +87,8 @@ TEST_F(PiFixture, SamePathSameMarkDeterministic) {
 
 TEST_F(PiFixture, MarkSurvivesSpoofedSource) {
   sim::Packet captured;
-  victim->set_receiver([&](const sim::Packet& p) { captured = p; });
+  auto on_packet = [&](const sim::Packet& p) { captured = p; };
+  victim->set_receiver(on_packet);
   sim::Packet p;
   p.dst = victim->address();
   p.src = 0xabcdef;  // spoofed
@@ -124,7 +126,8 @@ TEST_F(PiFixture, SenderPreloadedMarkShiftedOut) {
   // 16/bits_per_hop hops; with only 3 routers here some bits remain, but
   // the suffix (the last 3 routers' worth) is forced honest.
   sim::Packet captured;
-  victim->set_receiver([&](const sim::Packet& p) { captured = p; });
+  auto on_packet = [&](const sim::Packet& p) { captured = p; };
+  victim->set_receiver(on_packet);
   sim::Packet p;
   p.dst = victim->address();
   p.size_bytes = 100;
@@ -164,7 +167,8 @@ TEST(PiAccuracy, DegradesWithDispersedAttackers) {
     PiVictim filter;
     auto& victim = static_cast<net::Host&>(network.node(tree.servers[0]));
     sim::Packet last;
-    victim.set_receiver([&](const sim::Packet& p) { last = p; });
+    auto on_packet = [&](const sim::Packet& p) { last = p; };
+    victim.set_receiver(on_packet);
     auto mark_of_leaf = [&](std::size_t leaf) {
       sim::Packet p;
       p.dst = tree.server_addrs[0];

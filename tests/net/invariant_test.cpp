@@ -76,6 +76,8 @@ class MiscountQueue final : public PacketQueue {
 };
 
 struct Net {
+  static void sink(const sim::Packet&) {}
+
   explicit Net(const LinkParams& link = {}) : network(simulator) {
     auto& r = network.add_node<Router>("r");
     a = &network.add_node<Host>("a");
@@ -85,7 +87,7 @@ struct Net {
     a->set_address(network.assign_address(a->id()));
     b->set_address(network.assign_address(b->id()));
     network.compute_routes();
-    b->set_receiver([](const sim::Packet&) {});
+    b->set_receiver(sink);
   }
 
   void blast(int packets) {

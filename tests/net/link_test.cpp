@@ -41,7 +41,8 @@ struct LinkFixture : public ::testing::Test {
 
 TEST_F(LinkFixture, MixedSizesStayFifo) {
   std::vector<std::uint32_t> order;
-  b->set_receiver([&](const sim::Packet& p) { order.push_back(p.flow); });
+  auto on_packet = [&](const sim::Packet& p) { order.push_back(p.flow); };
+  b->set_receiver(on_packet);
   send(4000, 1);
   send(100, 2);
   send(2000, 3);
@@ -51,8 +52,10 @@ TEST_F(LinkFixture, MixedSizesStayFifo) {
 
 TEST_F(LinkFixture, SerializationTimesScaleWithSize) {
   std::vector<double> arrivals;
-  b->set_receiver(
-      [&](const sim::Packet&) { arrivals.push_back(simulator.now().to_seconds()); });
+  auto on_packet = [&](const sim::Packet&) {
+    arrivals.push_back(simulator.now().to_seconds());
+  };
+  b->set_receiver(on_packet);
   send(4000, 1);  // 4 ms serialization
   send(1000, 2);  // +1 ms behind it
   simulator.run_until(sim::SimTime::seconds(1));
@@ -62,7 +65,8 @@ TEST_F(LinkFixture, SerializationTimesScaleWithSize) {
 }
 
 TEST_F(LinkFixture, DeliveredCountersAdvance) {
-  b->set_receiver([](const sim::Packet&) {});
+  auto on_packet = [](const sim::Packet&) {};
+  b->set_receiver(on_packet);
   send(1000, 1);
   send(500, 2);
   simulator.run_until(sim::SimTime::seconds(1));
@@ -75,8 +79,10 @@ TEST_F(LinkFixture, DeliveredCountersAdvance) {
 
 TEST_F(LinkFixture, IdleLinkRestartsCleanly) {
   std::vector<double> arrivals;
-  b->set_receiver(
-      [&](const sim::Packet&) { arrivals.push_back(simulator.now().to_seconds()); });
+  auto on_packet = [&](const sim::Packet&) {
+    arrivals.push_back(simulator.now().to_seconds());
+  };
+  b->set_receiver(on_packet);
   send(1000, 1);
   simulator.run_until(sim::SimTime::seconds(5));
   send(1000, 2);  // after a long idle gap, timing restarts from now

@@ -42,7 +42,8 @@ struct TwoHostsFixture : public ::testing::Test {
 
 TEST_F(TwoHostsFixture, EndToEndDelivery) {
   int received = 0;
-  b->set_receiver([&](const sim::Packet&) { ++received; });
+  auto on_packet = [&](const sim::Packet&) { ++received; };
+  b->set_receiver(on_packet);
   a->send(make_packet(b->address()));
   simulator.run_until(sim::SimTime::seconds(1));
   EXPECT_EQ(received, 1);
@@ -54,7 +55,8 @@ TEST_F(TwoHostsFixture, DeliveryTimingExact) {
   // 1000 B at 8 Mb/s = 1 ms serialization + 1 ms propagation per link,
   // two links => 4 ms.
   sim::SimTime arrival = sim::SimTime::zero();
-  b->set_receiver([&](const sim::Packet&) { arrival = simulator.now(); });
+  auto on_packet = [&](const sim::Packet&) { arrival = simulator.now(); };
+  b->set_receiver(on_packet);
   a->send(make_packet(b->address()));
   simulator.run_until(sim::SimTime::seconds(1));
   EXPECT_EQ(arrival, sim::SimTime::millis(4));
@@ -64,7 +66,8 @@ TEST_F(TwoHostsFixture, SerializationQueuesBackToBack) {
   // Two packets sent at t=0: the second waits 1 ms behind the first at the
   // host's uplink, arriving 1 ms later.
   std::vector<sim::SimTime> arrivals;
-  b->set_receiver([&](const sim::Packet&) { arrivals.push_back(simulator.now()); });
+  auto on_packet = [&](const sim::Packet&) { arrivals.push_back(simulator.now()); };
+  b->set_receiver(on_packet);
   a->send(make_packet(b->address()));
   a->send(make_packet(b->address()));
   simulator.run_until(sim::SimTime::seconds(1));
@@ -74,7 +77,8 @@ TEST_F(TwoHostsFixture, SerializationQueuesBackToBack) {
 
 TEST_F(TwoHostsFixture, GroundTruthOriginStamped) {
   sim::NodeId origin = sim::kInvalidNode;
-  b->set_receiver([&](const sim::Packet& p) { origin = p.origin_node; });
+  auto on_packet = [&](const sim::Packet& p) { origin = p.origin_node; };
+  b->set_receiver(on_packet);
   sim::Packet p = make_packet(b->address());
   p.src = 0xdeadbeef;  // spoofed: origin must still be the real sender
   a->send(std::move(p));
@@ -84,7 +88,8 @@ TEST_F(TwoHostsFixture, GroundTruthOriginStamped) {
 
 TEST_F(TwoHostsFixture, TtlExpiryDropsPacket) {
   int received = 0;
-  b->set_receiver([&](const sim::Packet&) { ++received; });
+  auto on_packet = [&](const sim::Packet&) { ++received; };
+  b->set_receiver(on_packet);
   sim::Packet p = make_packet(b->address());
   p.ttl = 0;
   a->send(std::move(p));
@@ -99,7 +104,8 @@ TEST_F(TwoHostsFixture, MisdeliveredPacketIgnoredByHost) {
   // that belongs to nobody else: host b must ignore packets not addressed
   // to it.
   int received = 0;
-  b->set_receiver([&](const sim::Packet&) { ++received; });
+  auto on_packet = [&](const sim::Packet&) { ++received; };
+  b->set_receiver(on_packet);
   a->send(make_packet(a->address()));  // loops back to a, not b
   simulator.run_until(sim::SimTime::seconds(1));
   EXPECT_EQ(received, 0);
@@ -112,7 +118,8 @@ TEST_F(TwoHostsFixture, HopDistance) {
 }
 
 TEST_F(TwoHostsFixture, CountersConserve) {
-  b->set_receiver([](const sim::Packet&) {});
+  auto on_packet = [](const sim::Packet&) {};
+  b->set_receiver(on_packet);
   for (int i = 0; i < 10; ++i) a->send(make_packet(b->address()));
   simulator.run_until(sim::SimTime::seconds(1));
   const auto& c = network.counters();

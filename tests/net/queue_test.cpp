@@ -47,7 +47,8 @@ TEST(DropTailQueue, SmallPacketFitsAfterBigRejected) {
 TEST(DropTailQueue, DropObserverSeesDroppedPacket) {
   DropTailQueue q(1000);
   std::uint64_t dropped_uid = 0;
-  q.set_drop_observer([&](const sim::Packet& p) { dropped_uid = p.uid; });
+  auto on_drop = [&](const sim::Packet& p) { dropped_uid = p.uid; };
+  q.set_drop_observer(on_drop);
   q.enqueue(packet(800, 1));
   q.enqueue(packet(800, 2));
   EXPECT_EQ(dropped_uid, 2u);

@@ -125,7 +125,8 @@ TEST_F(RouterFixture, TapNotCalledForFilteredPackets) {
 
 TEST_F(RouterFixture, TtlDecrementsPerHop) {
   std::uint8_t ttl_at_b = 0;
-  b->set_receiver([&](const sim::Packet& p) { ttl_at_b = p.ttl; });
+  auto on_packet = [&](const sim::Packet& p) { ttl_at_b = p.ttl; };
+  b->set_receiver(on_packet);
   sim::Packet p;
   p.dst = b->address();
   p.ttl = 64;

@@ -162,9 +162,10 @@ TEST_F(PushbackFixture, InnocentBystanderSharesAggregatePain) {
   good.start();
 
   std::uint64_t legit_delivered = 0;
-  server->set_receiver([&](const sim::Packet& p) {
+  auto on_packet = [&](const sim::Packet& p) {
     if (!p.is_attack) ++legit_delivered;
-  });
+  };
+  server->set_receiver(on_packet);
   simulator.run_until(sim::SimTime::seconds(20));
   EXPECT_LT(legit_delivered, good.packets_sent());  // some loss
   EXPECT_GT(legit_delivered, 0u);                   // but not starved

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <tuple>
+#include <utility>
 #include <vector>
 
+#include "sim/trace_digest.hpp"
 #include "util/rng.hpp"
 
 namespace hbp::sim {
@@ -95,12 +98,14 @@ TEST(EventQueue, CancelledEventsSkippedAmongLive) {
 }
 
 // Reference-model property test: random interleavings of push/pop/cancel
-// behave exactly like a sorted multimap model.
-class EventQueueModelSweep : public ::testing::TestWithParam<std::uint64_t> {};
+// behave exactly like a sorted multimap model, under both backends.
+class EventQueueModelSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, SchedulerKind>> {
+};
 
 TEST_P(EventQueueModelSweep, MatchesReferenceModel) {
-  util::Rng rng(GetParam());
-  EventQueue q;
+  util::Rng rng(std::get<0>(GetParam()));
+  EventQueue q(std::get<1>(GetParam()));
   // Model: (time, seq) -> id, mirroring the queue's ordering contract.
   std::vector<std::tuple<std::int64_t, std::uint64_t, EventId>> model;
   std::uint64_t seq = 0;
@@ -138,8 +143,125 @@ TEST_P(EventQueueModelSweep, MatchesReferenceModel) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueModelSweep,
-                         ::testing::Values(1, 2, 3, 4));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, EventQueueModelSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(SchedulerKind::kBinaryHeap,
+                                         SchedulerKind::kCalendar)));
+
+// Twin-scheduler stress: drive a binary-heap queue and a calendar queue
+// with the identical randomized op sequence (pushes over a wide, clustered
+// time range to force calendar rebuilds; random cancels; interleaved pops)
+// and require the exact same pop sequence — time AND payload — from both.
+// The popped stream is also folded into a TraceDigest per queue, mirroring
+// what the simulator pins in the golden tests.
+class TwinSchedulerStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TwinSchedulerStress, IdenticalPopOrderAndDigest) {
+  util::Rng rng(GetParam());
+  EventQueue heap(SchedulerKind::kBinaryHeap);
+  EventQueue cal(SchedulerKind::kCalendar);
+  ASSERT_EQ(heap.kind(), SchedulerKind::kBinaryHeap);
+  ASSERT_EQ(cal.kind(), SchedulerKind::kCalendar);
+
+  std::vector<int> heap_payloads;
+  std::vector<int> cal_payloads;
+  std::vector<std::pair<EventId, EventId>> live;  // parallel (heap, cal) ids
+  TraceDigest heap_digest;
+  TraceDigest cal_digest;
+  std::int64_t clock = 0;  // pops only move forward from here
+  int next_payload = 0;
+
+  const auto pop_both = [&] {
+    ASSERT_EQ(heap.empty(), cal.empty());
+    if (heap.empty()) return;
+    ASSERT_EQ(heap.next_time(), cal.next_time());
+    auto a = heap.pop();
+    auto b = cal.pop();
+    ASSERT_EQ(a.at, b.at);
+    a.fn();
+    b.fn();
+    ASSERT_EQ(heap_payloads, cal_payloads);
+    heap_digest.fold(a.at, TraceKind::kEvent, -1, heap_payloads.size());
+    cal_digest.fold(b.at, TraceKind::kEvent, -1, cal_payloads.size());
+    clock = a.at.nanos();
+  };
+
+  for (int step = 0; step < 20000; ++step) {
+    const auto op = rng.below(100);
+    if (op < 55) {  // push, never in the past
+      // Mix of near-future clusters and far-flung outliers so the calendar
+      // backend grows, shrinks, rewinds, and re-tunes its bucket width.
+      std::int64_t t = clock;
+      const auto shape = rng.below(10);
+      if (shape < 6) {
+        t += static_cast<std::int64_t>(rng.below(1'000'000));  // same day-ish
+      } else if (shape < 9) {
+        t += static_cast<std::int64_t>(rng.below(1'000'000'000));  // far
+      } else {
+        t += static_cast<std::int64_t>(rng.below(1'000'000'000'000));  // huge
+      }
+      const int payload = next_payload++;
+      const EventId ha = heap.push(
+          SimTime(t), [&heap_payloads, payload] { heap_payloads.push_back(payload); });
+      const EventId ca = cal.push(
+          SimTime(t), [&cal_payloads, payload] { cal_payloads.push_back(payload); });
+      live.emplace_back(ha, ca);
+    } else if (op < 80) {  // pop
+      pop_both();
+    } else {  // cancel a random (possibly stale) id pair
+      if (live.empty()) continue;
+      const auto idx = rng.below(live.size());
+      const auto [ha, ca] = live[idx];
+      ASSERT_EQ(heap.cancel(ha), cal.cancel(ca));
+    }
+    ASSERT_EQ(heap.size(), cal.size());
+  }
+  while (!heap.empty()) pop_both();
+  EXPECT_EQ(heap_payloads, cal_payloads);
+  EXPECT_EQ(heap_digest.value(), cal_digest.value());
+  EXPECT_GT(heap_payloads.size(), 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwinSchedulerStress,
+                         ::testing::Values(11, 22, 33));
+
+// Lazy cancellation must not let bookkeeping grow without bound: stale
+// ordering records are compacted once they outnumber the live ones, and
+// slots recycle through the free list instead of accumulating.
+class BoundedCancelState : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(BoundedCancelState, CancelChurnStaysBounded) {
+  util::Rng rng(5);
+  EventQueue q(GetParam());
+  constexpr std::size_t kBatch = 200;
+  std::vector<EventId> ids;
+  for (int round = 0; round < 300; ++round) {
+    ids.clear();
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      ids.push_back(q.push(
+          SimTime(static_cast<std::int64_t>(rng.below(1'000'000'000))), [] {}));
+    }
+    // Cancel everything we just scheduled, in random order.
+    while (!ids.empty()) {
+      const auto idx = rng.below(ids.size());
+      EXPECT_TRUE(q.cancel(ids[idx]));
+      ids[idx] = ids.back();
+      ids.pop_back();
+      // Invariant after every cancel: stale records never exceed
+      // max(live, compaction threshold).
+      ASSERT_LE(q.stale_items(), std::max<std::size_t>(64, q.size()));
+    }
+    ASSERT_TRUE(q.empty());
+    // All slots ever needed fit the per-round peak; churn adds none.
+    ASSERT_LE(q.slot_capacity(), kBatch);
+    ASSERT_LE(q.backlog_items(), std::max<std::size_t>(64, q.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, BoundedCancelState,
+                         ::testing::Values(SchedulerKind::kBinaryHeap,
+                                           SchedulerKind::kCalendar));
 
 TEST(EventQueue, StressRandomOrdering) {
   util::Rng rng(77);

@@ -91,7 +91,8 @@ TEST_F(TrafficFixture, CbrSkipsWhenDstIsZero) {
 
 TEST_F(TrafficFixture, SpoofPoliciesShapeSource) {
   sim::Address last_src = 0;
-  dst->set_receiver([&](const sim::Packet& p) { last_src = p.src; });
+  auto on_packet = [&](const sim::Packet& p) { last_src = p.src; };
+  dst->set_receiver(on_packet);
 
   CbrParams params;
   params.rate_bps = 8e6;
@@ -121,7 +122,8 @@ TEST_F(TrafficFixture, SpoofPoliciesShapeSource) {
 
 TEST_F(TrafficFixture, RandomSpoofVariesPerPacket) {
   std::set<sim::Address> sources;
-  dst->set_receiver([&](const sim::Packet& p) { sources.insert(p.src); });
+  auto on_packet = [&](const sim::Packet& p) { sources.insert(p.src); };
+  dst->set_receiver(on_packet);
   CbrParams params;
   params.rate_bps = 8e6;  // 1000 pps
   CbrSource cbr(simulator, *src, rng, params,
@@ -194,10 +196,11 @@ TEST_F(TrafficFixture, ProbeSourcePoissonCount) {
 TEST_F(TrafficFixture, ProbePacketsAreBenignType) {
   sim::PacketType seen = sim::PacketType::kData;
   bool attack = true;
-  dst->set_receiver([&](const sim::Packet& p) {
+  auto on_packet = [&](const sim::Packet& p) {
     seen = p.type;
     attack = p.is_attack;
-  });
+  };
+  dst->set_receiver(on_packet);
   ProbeSource probe(simulator, *src, rng, {dst->address()}, 100.0,
                     sim::SimTime::zero(), sim::SimTime::seconds(5));
   probe.start();

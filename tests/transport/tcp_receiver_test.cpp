@@ -18,10 +18,13 @@ struct ReceiverFixture : public ::testing::Test {
     peer->set_address(network.assign_address(peer->id()));
     network.compute_routes();
     receiver = std::make_unique<TcpReceiver>(simulator, *host);
-    peer->set_receiver([this](const sim::Packet& p) {
-      if (p.type == sim::PacketType::kTcpAck) last_ack = p.ack;
-      if (p.type == sim::PacketType::kTcpSynAck) ++syn_acks;
-    });
+    peer->set_receiver(
+        net::Host::ReceiveFn::bind<&ReceiverFixture::on_peer_packet>(*this));
+  }
+
+  void on_peer_packet(const sim::Packet& p) {
+    if (p.type == sim::PacketType::kTcpAck) last_ack = p.ack;
+    if (p.type == sim::PacketType::kTcpSynAck) ++syn_acks;
   }
 
   sim::Packet data(std::int64_t seq, std::int32_t bytes = 1000) {
