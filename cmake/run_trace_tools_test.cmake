@@ -1,0 +1,55 @@
+# Exercises the trace tooling end to end: runs one traced scenario twice
+# (CSV + JSON exports), validates the Perfetto JSON with check_trace.cmake,
+# and queries the CSV with trace_query.cmake (a capture filter must print a
+# wave summary).
+#
+#   cmake -DTRACE_BIN=<simulate binary> "-DTRACE_ARGS=--leaves=12;..."
+#         -DTRACE_TOOLS=<tools dir> -DTRACE_OUT=<workdir>
+#         -P run_trace_tools_test.cmake
+foreach(var TRACE_BIN TRACE_TOOLS TRACE_OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "${var} not set")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${TRACE_OUT})
+
+foreach(ext csv json)
+  execute_process(
+    COMMAND ${TRACE_BIN} ${TRACE_ARGS} --trace=${TRACE_OUT}/run.${ext}
+    RESULT_VARIABLE code
+    OUTPUT_QUIET
+    ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "${TRACE_BIN} (--trace=*.${ext}) exited with ${code}\n${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND}
+    -DTRACE=${TRACE_OUT}/run.json -P ${TRACE_TOOLS}/check_trace.cmake
+  RESULT_VARIABLE code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "check_trace failed (${code})\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND}
+    -DTRACE=${TRACE_OUT}/run.csv -DVERB=capture -DLIMIT=5
+    -P ${TRACE_TOOLS}/trace_query.cmake
+  RESULT_VARIABLE code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "trace_query failed (${code})\n${out}\n${err}")
+endif()
+# message() output lands on stderr; merge before checking.
+set(all "${out}\n${err}")
+if(NOT all MATCHES "back-propagation wave milestones:" OR
+   NOT all MATCHES "capture")
+  message(FATAL_ERROR "trace_query output missing the wave summary\n${all}")
+endif()
+
+message(STATUS "trace tools OK on ${TRACE_BIN}")

@@ -76,6 +76,11 @@ int main(int argc, char** argv) {
   }
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const std::string csv = flags.get_string("csv", "");
+  // Causal tracing: --trace=run.json (Perfetto / chrome://tracing) or
+  // --trace=run.csv; --trace_flight sets the flight-recorder depth.
+  config.trace_path = flags.get_string("trace", "");
+  config.trace_flight =
+      static_cast<std::size_t>(flags.get_int("trace_flight", 256));
   flags.finish();
 
   const auto result = scenario::run_tree_experiment(config, seed);
@@ -109,6 +114,10 @@ int main(int argc, char** argv) {
   table.add_row({"events executed",
                  util::Table::num(static_cast<long long>(result.events_executed))});
   table.print();
+
+  if (!config.trace_path.empty()) {
+    std::printf("trace written to %s\n", config.trace_path.c_str());
+  }
 
   if (!csv.empty()) {
     std::FILE* f = std::fopen(csv.c_str(), "w");

@@ -78,10 +78,16 @@ void HbpDefense::on_honeypot_hit(int server, const sim::Packet& p) {
   if (!w.open) return;
   ++w.hits;
   if (p.is_attack) ++w.attack_hits;
+  w.last_hit_uid = p.uid;
   if (!w.activated && w.hits >= params_.activation_threshold) {
     w.activated = true;
     ++activations_;
     if (w.attack_hits == 0) ++false_activations_;
+    if (simulator_.tracing()) {
+      simulator_.trace_event({simulator_.now(), sim::TraceVerb::kActivate,
+                              pool_.node(server), p.uid, p.uid, server,
+                              static_cast<std::int32_t>(w.epoch)});
+    }
     activate(server);
   }
 }
@@ -103,8 +109,14 @@ void HbpDefense::activate(int server) {
   m.from_as = home;  // server speaks for its home AS
   m.to_as = home;
   keys_.sign(m, keys_.server_key(home));
+  m.trace_cause = w.last_hit_uid;
 
   requested_[static_cast<std::size_t>(server)][w.epoch].insert(home);
+  if (simulator_.tracing()) {
+    simulator_.trace_event({simulator_.now(), sim::TraceVerb::kRequestSend,
+                            pool_.node(server), w.last_hit_uid, w.last_hit_uid,
+                            home, home});
+  }
   control_.send("honeypot_request", 1, [this, m] { deliver_request(m); });
 }
 
@@ -127,6 +139,10 @@ void HbpDefense::on_window_end(int server, std::size_t epoch) {
       c.to_as = as;
       c.from_server = true;
       keys_.sign(c, keys_.server_key(as));
+      if (simulator_.tracing()) {
+        simulator_.trace_event({simulator_.now(), sim::TraceVerb::kCancelSend,
+                                pool_.node(server), 0, 0, home_as(server), as});
+      }
       control_.send("honeypot_cancel", hops, [this, c] { deliver_cancel(c); });
     }
     by_epoch.erase(it);
@@ -180,6 +196,12 @@ void HbpDefense::schedule_direct_requests(int server) {
       keys_.sign(m, keys_.server_key(target));
       requested_[static_cast<std::size_t>(server)][next_epoch].insert(target);
       const int hops = 1 + std::max(0, as_map_.as_hop_distance(home, target));
+      if (simulator_.tracing()) {
+        simulator_.trace_event({simulator_.now(),
+                                sim::TraceVerb::kDirectRequest,
+                                pool_.node(server), 0, 0, target,
+                                static_cast<std::int32_t>(next_epoch)});
+      }
       control_.send("honeypot_request", hops, [this, m] { deliver_request(m); });
     }, "core.defense.direct_request");
   }
@@ -188,7 +210,7 @@ void HbpDefense::schedule_direct_requests(int server) {
 void HbpDefense::propagate_request(net::AsId from, net::AsId to,
                                    sim::Address dst, std::size_t epoch,
                                    const SessionWindow& window,
-                                   int extra_hops) {
+                                   int extra_hops, std::uint64_t trace_cause) {
   if (hsm(to) != nullptr) {
     HoneypotRequest m;
     m.dst = dst;
@@ -197,6 +219,12 @@ void HbpDefense::propagate_request(net::AsId from, net::AsId to,
     m.from_as = from;
     m.to_as = to;
     keys_.sign(m, keys_.pair_key(from, to));
+    m.trace_cause = trace_cause;
+    if (simulator_.tracing()) {
+      simulator_.trace_event({simulator_.now(), sim::TraceVerb::kRequestSend,
+                              sim::kInvalidNode, trace_cause, trace_cause,
+                              from, to});
+    }
     control_.send("honeypot_request", 1 + extra_hops,
                   [this, m] { deliver_request(m); });
     return;
@@ -206,7 +234,8 @@ void HbpDefense::propagate_request(net::AsId from, net::AsId to,
   // normal propagation.
   ++bridged_;
   for (const net::AsId up : as_map_.info(to).upstream) {
-    propagate_request(from, up, dst, epoch, window, extra_hops + 1);
+    propagate_request(from, up, dst, epoch, window, extra_hops + 1,
+                      trace_cause);
   }
 }
 
@@ -220,6 +249,10 @@ void HbpDefense::propagate_cancel(net::AsId from, net::AsId to,
     m.from_as = from;
     m.to_as = to;
     keys_.sign(m, keys_.pair_key(from, to));
+    if (simulator_.tracing()) {
+      simulator_.trace_event({simulator_.now(), sim::TraceVerb::kCancelSend,
+                              sim::kInvalidNode, 0, 0, from, to});
+    }
     control_.send("honeypot_cancel", 1 + extra_hops,
                   [this, m] { deliver_cancel(m); });
     return;
@@ -243,6 +276,11 @@ void HbpDefense::report_to_server(net::AsId from, sim::Address dst,
   if (server < 0) return;
   const int hops =
       1 + std::max(0, as_map_.as_hop_distance(from, home_as(server)));
+  if (simulator_.tracing()) {
+    simulator_.trace_event({simulator_.now(), sim::TraceVerb::kReportSend,
+                            sim::kInvalidNode, 0, 0, from,
+                            static_cast<std::int32_t>(epoch)});
+  }
   control_.send("intermediate_report", hops, [this, m] { deliver_report(m); });
 }
 
@@ -304,6 +342,10 @@ void HbpDefense::export_telemetry(telemetry::Registry& registry) const {
 void HbpDefense::on_capture(sim::NodeId host, sim::Address dst) {
   if (captured_hosts_.contains(host)) return;
   captured_hosts_.insert(host);
+  if (simulator_.tracing()) {
+    simulator_.trace_event({simulator_.now(), sim::TraceVerb::kCapture, host,
+                            0, 0, static_cast<std::int32_t>(dst), -1});
+  }
   const CaptureEvent event{host, dst, simulator_.now()};
   captures_.push_back(event);
   for (const auto& fn : capture_listeners_) fn(event);

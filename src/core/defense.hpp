@@ -75,9 +75,12 @@ class HbpDefense {
   // Inter-AS propagation with gap bridging: delivers a request (or cancel)
   // from AS `from` to AS `to`; if `to` does not deploy, the message is
   // broadcast via routing options to the nearest deploying ASs upstream.
+  // `trace_cause` is the uid of the packet that triggered this hop of the
+  // wave (0 = unknown); it rides along for causal tracing only and never
+  // enters the MAC.
   void propagate_request(net::AsId from, net::AsId to, sim::Address dst,
                          std::size_t epoch, const SessionWindow& window,
-                         int extra_hops = 0);
+                         int extra_hops = 0, std::uint64_t trace_cause = 0);
   void propagate_cancel(net::AsId from, net::AsId to, sim::Address dst,
                         std::size_t epoch, int extra_hops = 0);
 
@@ -113,6 +116,8 @@ class HbpDefense {
     bool activated = false;
     std::uint64_t hits = 0;
     std::uint64_t attack_hits = 0;
+    // Uid of the latest hit — the wave's trace id once activation fires.
+    std::uint64_t last_hit_uid = 0;
   };
 
   void on_window_start(int server, std::size_t epoch);

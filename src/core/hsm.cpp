@@ -160,6 +160,12 @@ net::FilterAction Hsm::DivertFilter::on_packet(const sim::Packet& p,
   // Divert to the HSM: one intra-AS control hop of latency, then consumed
   // ("only the honeypot traffic, which will be discarded anyway").
   const sim::NodeId reporter = router_.id();
+  sim::Simulator& simulator = hsm_.defense().simulator();
+  if (simulator.tracing()) {
+    simulator.trace_event({simulator.now(), sim::TraceVerb::kDivert,
+                           reporter, p.uid, 0, in_port,
+                           std::max(stamped.mark, stamped.tunnel_id)});
+  }
   hsm_.defense().control().send(
       "divert_report", 1, [hsm = &hsm_, reporter, in_port, stamped] {
         hsm->on_diverted(reporter, in_port, stamped);
@@ -223,6 +229,12 @@ void Hsm::remove_divert(sim::Address dst) {
 
 void Hsm::receive_request(const HoneypotRequest& m) {
   ++requests_received_;
+  sim::Simulator& simulator = defense_.simulator();
+  if (simulator.tracing()) {
+    simulator.trace_event({simulator.now(), sim::TraceVerb::kSessionOpen,
+                           sim::kInvalidNode, m.trace_cause, m.trace_cause,
+                           info_.id, static_cast<std::int32_t>(m.epoch)});
+  }
   auto [it, created] = sessions_.try_emplace(m.dst);
   HsmSession& session = it->second;
   session.epoch = m.epoch;
@@ -234,6 +246,12 @@ void Hsm::receive_request(const HoneypotRequest& m) {
 
 void Hsm::receive_cancel(const HoneypotCancel& m) {
   ++cancels_received_;
+  sim::Simulator& simulator = defense_.simulator();
+  if (simulator.tracing()) {
+    simulator.trace_event({simulator.now(), sim::TraceVerb::kSessionClose,
+                           sim::kInvalidNode, 0, 0, info_.id,
+                           static_cast<std::int32_t>(m.epoch)});
+  }
   const auto it = sessions_.find(m.dst);
   if (it == sessions_.end()) return;
   HsmSession session = std::move(it->second);
@@ -294,32 +312,45 @@ void Hsm::on_diverted(sim::NodeId edge_router, int in_port,
     // Ingress from an upstream AS identified by the stamped edge id.
     const auto cl = cross_by_edge_id_.find(stamp);
     if (cl != cross_by_edge_id_.end() && cl->second->upstream) {
-      propagate_upstream(p.dst, session, cl->second->neighbor_as);
+      propagate_upstream(p.dst, session, cl->second->neighbor_as, p.uid);
     }
     return;
   }
 
   // No stamp: the packet originated inside this AS — start (or continue)
   // intra-AS back-propagation at the reporting router.
-  start_intra_as(p.dst, session, edge_router, in_port);
+  start_intra_as(p.dst, session, edge_router, in_port, p.uid);
 }
 
 void Hsm::start_intra_as(sim::Address dst, HsmSession& session,
-                         sim::NodeId router, int in_port) {
+                         sim::NodeId router, int in_port,
+                         std::uint64_t cause_uid) {
   if (!session.local_sessions.contains(router)) {
     session.local_sessions.insert(router);
+    sim::Simulator& simulator = defense_.simulator();
+    if (simulator.tracing()) {
+      simulator.trace_event({simulator.now(), sim::TraceVerb::kIntraTrace,
+                             router, cause_uid, cause_uid, in_port,
+                             info_.id});
+    }
     agent(router).open_session(dst, session.window);
   }
   agent(router).observe(dst, in_port);
 }
 
 void Hsm::propagate_upstream(sim::Address dst, HsmSession& session,
-                             net::AsId neighbor) {
+                             net::AsId neighbor, std::uint64_t cause_uid) {
   if (session.propagated_upstream.contains(neighbor)) return;
   session.propagated_upstream.insert(neighbor);
   session.any_upstream_request = true;
+  sim::Simulator& simulator = defense_.simulator();
+  if (simulator.tracing()) {
+    simulator.trace_event({simulator.now(), sim::TraceVerb::kUpstream,
+                           sim::kInvalidNode, cause_uid, cause_uid, info_.id,
+                           neighbor});
+  }
   defense_.propagate_request(info_.id, neighbor, dst, session.epoch,
-                             session.window);
+                             session.window, 0, cause_uid);
 }
 
 void Hsm::on_ingress_reached(sim::Address dst, sim::NodeId router, int port) {
@@ -327,6 +358,11 @@ void Hsm::on_ingress_reached(sim::Address dst, sim::NodeId router, int port) {
   if (it == sessions_.end()) return;
   const auto cl = cross_by_port_.find({router, port});
   if (cl == cross_by_port_.end() || !cl->second->upstream) return;
+  sim::Simulator& simulator = defense_.simulator();
+  if (simulator.tracing()) {
+    simulator.trace_event({simulator.now(), sim::TraceVerb::kIngressReached,
+                           router, 0, 0, port, cl->second->neighbor_as});
+  }
   propagate_upstream(dst, it->second, cl->second->neighbor_as);
 }
 
@@ -339,11 +375,16 @@ void Hsm::on_local_capture(sim::Address dst, sim::NodeId host) {
 
 void Hsm::send_local_request(sim::NodeId from_router, sim::NodeId to_router,
                              sim::Address dst) {
-  (void)from_router;  // TTL-255 authenticity: neighbors only, by construction
+  // TTL-255 authenticity: neighbors only, by construction.
   const auto it = sessions_.find(dst);
   if (it == sessions_.end()) return;
   it->second.local_sessions.insert(to_router);
   const SessionWindow window = it->second.window;
+  sim::Simulator& simulator = defense_.simulator();
+  if (simulator.tracing()) {
+    simulator.trace_event({simulator.now(), sim::TraceVerb::kLocalRequest,
+                           from_router, 0, 0, to_router, info_.id});
+  }
   defense_.control().send("local_request", 1, [this, to_router, dst, window] {
     agent(to_router).open_session(dst, window);
   });

@@ -153,11 +153,14 @@ class Hsm {
 
   void install_divert(sim::Address dst);
   void remove_divert(sim::Address dst);
+  // `cause_uid` is the uid of the diverted packet that triggered this step
+  // (0 when the trigger was an aggregate observation); causal tracing only.
   void propagate_upstream(sim::Address dst, HsmSession& session,
-                          net::AsId neighbor);
+                          net::AsId neighbor, std::uint64_t cause_uid = 0);
   HbpRouterAgent& agent(sim::NodeId router);
   void start_intra_as(sim::Address dst, HsmSession& session,
-                      sim::NodeId router, int in_port);
+                      sim::NodeId router, int in_port,
+                      std::uint64_t cause_uid = 0);
 
   HbpDefense& defense_;
   const topo::AsInfo& info_;

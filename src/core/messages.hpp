@@ -49,6 +49,11 @@ struct HoneypotRequest {
   net::AsId from_as = net::kNoAs;
   net::AsId to_as = net::kNoAs;
   bool progressive_direct = false;  // sent directly by the server (Section 6)
+  // Causal-trace annotation: uid of the packet (honeypot hit or diverted
+  // attack packet) whose observation triggered this request.  Not part of
+  // the canonical serialization, so it never enters the MAC — it is
+  // observability metadata, not protocol state.
+  std::uint64_t trace_cause = 0;
   util::Digest mac{};
 };
 

@@ -6,10 +6,15 @@
 namespace hbp::net {
 
 void Host::receive(sim::Packet&& p, int in_port) {
-  (void)in_port;
   if (p.dst != address_) return;  // mis-delivered; hosts are not routers
   ++received_;
   bytes_received_ += p.size_bytes;
+  sim::Simulator& simulator = network().simulator();
+  if (simulator.tracing()) {
+    simulator.trace_event({simulator.now(), sim::TraceVerb::kReceive, id(),
+                           p.uid, 0, in_port,
+                           static_cast<std::int32_t>(p.type)});
+  }
   if (receiver_) receiver_(p);
 }
 
@@ -17,7 +22,13 @@ void Host::send(sim::Packet&& p) {
   HBP_ASSERT_MSG(port_count() == 1, "hosts have exactly one access port");
   p.uid = network().next_packet_uid();
   p.origin_node = id();
-  p.sent_at = network().simulator().now();
+  sim::Simulator& simulator = network().simulator();
+  p.sent_at = simulator.now();
+  if (simulator.tracing()) {
+    simulator.trace_event({p.sent_at, sim::TraceVerb::kSend, id(), p.uid, 0,
+                           static_cast<std::int32_t>(p.dst),
+                           static_cast<std::int32_t>(p.type)});
+  }
   network().transmit(id(), 0, std::move(p));
 }
 

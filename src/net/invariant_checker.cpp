@@ -46,12 +46,15 @@ void InvariantChecker::check_into(std::vector<std::string>& out,
                          next->nanos(), now.nanos()));
   }
 
-  // Per-link sweep feeding C1-C4.
+  // Per-link sweep feeding C1-C4.  Violation messages carry the sim-time
+  // and the node's name so a failure in a 10k-node run is attributable
+  // without a debugger.
   std::uint64_t accepted = 0;
   std::uint64_t queue_drops = 0;
   std::uint64_t link_delivered = 0;
   for (sim::NodeId id = 0; id < static_cast<sim::NodeId>(network_.node_count());
        ++id) {
+    const char* name = network_.node(id).name().c_str();
     for (std::size_t port = 0; port < network_.link_count(id); ++port) {
       const Link& link = network_.link(id, static_cast<int>(port));
       const PacketQueue& queue = link.queue();
@@ -60,28 +63,29 @@ void InvariantChecker::check_into(std::vector<std::string>& out,
       link_delivered += link.packets_delivered();
 
       if (queue.accepted() < link.packets_delivered()) {
-        out.push_back(format("link %d:%zu delivered %" PRIu64
+        out.push_back(format("[t=%.9fs] link %s(#%d):%zu delivered %" PRIu64
                              " packets but only accepted %" PRIu64,
-                             id, port, link.packets_delivered(),
-                             queue.accepted()));
+                             now.to_seconds(), name, id, port,
+                             link.packets_delivered(), queue.accepted()));
       }
       const std::int64_t bytes = queue.byte_length();
       if (bytes < 0) {
-        out.push_back(format("link %d:%zu queue holds negative bytes (%" PRId64
-                             ")",
-                             id, port, bytes));
+        out.push_back(format("[t=%.9fs] link %s(#%d):%zu queue holds negative "
+                             "bytes (%" PRId64 ")",
+                             now.to_seconds(), name, id, port, bytes));
       }
       if (queue.packet_length() == 0 && bytes != 0) {
-        out.push_back(format("link %d:%zu queue is empty but byte ledger says %"
-                             PRId64,
-                             id, port, bytes));
+        out.push_back(format("[t=%.9fs] link %s(#%d):%zu queue is empty but "
+                             "byte ledger says %" PRId64,
+                             now.to_seconds(), name, id, port, bytes));
       }
       if (options_.strict) {
         const std::int64_t recount = queue.recount_bytes();
         if (recount != bytes) {
-          out.push_back(format("link %d:%zu byte ledger %" PRId64
+          out.push_back(format("[t=%.9fs] link %s(#%d):%zu byte ledger %" PRId64
                                " != recounted %" PRId64,
-                               id, port, bytes, recount));
+                               now.to_seconds(), name, id, port, bytes,
+                               recount));
         }
       }
     }
@@ -89,26 +93,29 @@ void InvariantChecker::check_into(std::vector<std::string>& out,
 
   const Network::Counters& c = network_.counters();
   if (c.transmitted != accepted + queue_drops) {
-    out.push_back(format("transmitted %" PRIu64 " != accepted %" PRIu64
-                         " + queue drops %" PRIu64,
-                         c.transmitted, accepted, queue_drops));
+    out.push_back(format("[t=%.9fs] transmitted %" PRIu64 " != accepted %"
+                         PRIu64 " + queue drops %" PRIu64,
+                         now.to_seconds(), c.transmitted, accepted,
+                         queue_drops));
   }
   if (c.delivered != link_delivered) {
-    out.push_back(format("network delivered %" PRIu64 " != per-link sum %" PRIu64,
-                         c.delivered, link_delivered));
+    out.push_back(format("[t=%.9fs] network delivered %" PRIu64
+                         " != per-link sum %" PRIu64,
+                         now.to_seconds(), c.delivered, link_delivered));
   }
   const std::uint64_t in_flight =
       accepted >= link_delivered ? accepted - link_delivered : 0;
   if (c.transmitted != c.delivered + queue_drops + in_flight) {
-    out.push_back(format("conservation: transmitted %" PRIu64
+    out.push_back(format("[t=%.9fs] conservation: transmitted %" PRIu64
                          " != delivered %" PRIu64 " + queue drops %" PRIu64
                          " + in-flight %" PRIu64,
-                         c.transmitted, c.delivered, queue_drops, in_flight));
+                         now.to_seconds(), c.transmitted, c.delivered,
+                         queue_drops, in_flight));
   }
   if (require_quiescent && in_flight != 0) {
-    out.push_back(format("%" PRIu64
+    out.push_back(format("[t=%.9fs] %" PRIu64
                          " packets still in flight in a quiescent network",
-                         in_flight));
+                         now.to_seconds(), in_flight));
   }
 }
 
@@ -128,6 +135,19 @@ void InvariantChecker::expect_ok() {
   const std::vector<std::string> violations = check();
   for (const std::string& v : violations) {
     std::fprintf(stderr, "invariant violation: %s\n", v.c_str());
+  }
+  if (!violations.empty()) {
+    // When a trace::Tracer is attached its flight recorder holds the last-N
+    // trace events — the moments leading up to the violation.  Dump them
+    // before aborting; without a tracer this degrades to a hint.
+    std::string tail;
+    if (network_.simulator().dump_flight(tail)) {
+      std::fprintf(stderr, "%s", tail.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "(no flight recorder attached; run with tracing enabled "
+                   "to capture the events leading up to the violation)\n");
+    }
   }
   HBP_ASSERT_MSG(violations.empty(), "network invariant audit failed");
 }

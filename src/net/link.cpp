@@ -5,10 +5,11 @@
 
 namespace hbp::net {
 
-Link::Link(sim::Simulator& simulator, Network& network, sim::NodeId to_node,
-           int to_port, const LinkParams& params)
+Link::Link(sim::Simulator& simulator, Network& network, sim::NodeId from_node,
+           sim::NodeId to_node, int to_port, const LinkParams& params)
     : simulator_(simulator),
       network_(network),
+      from_node_(from_node),
       to_node_(to_node),
       to_port_(to_port),
       capacity_bps_(params.capacity_bps),
@@ -27,7 +28,15 @@ void Link::send(sim::Packet&& p) {
     // Dropped; counted by the queue, fingerprinted here.
     simulator_.trace().fold(simulator_.now(), sim::TraceKind::kQueueDrop,
                             to_node_, uid);
+    if (simulator_.tracing()) {
+      simulator_.trace_event({simulator_.now(), sim::TraceVerb::kQueueDrop,
+                              from_node_, uid, 0, to_node_, to_port_});
+    }
     return;
+  }
+  if (simulator_.tracing()) {
+    simulator_.trace_event({simulator_.now(), sim::TraceVerb::kEnqueue,
+                            from_node_, uid, 0, to_node_, to_port_});
   }
   if (!transmitting_) start_transmission();
 }
@@ -39,6 +48,10 @@ void Link::start_transmission() {
     return;
   }
   transmitting_ = true;
+  if (simulator_.tracing()) {
+    simulator_.trace_event({simulator_.now(), sim::TraceVerb::kDequeue,
+                            from_node_, next->uid, 0, to_node_, to_port_});
+  }
   const sim::SimTime tx = sim::transmission_time(next->size_bytes, capacity_bps_);
   // Delivery after serialization + propagation; the transmitter frees up
   // after serialization only.

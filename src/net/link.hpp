@@ -24,8 +24,8 @@ class Network;
 
 class Link {
  public:
-  Link(sim::Simulator& simulator, Network& network, sim::NodeId to_node,
-       int to_port, const LinkParams& params);
+  Link(sim::Simulator& simulator, Network& network, sim::NodeId from_node,
+       sim::NodeId to_node, int to_port, const LinkParams& params);
 
   // Hands a packet to the link; it is queued and serialized in order.
   void send(sim::Packet&& p);
@@ -43,6 +43,7 @@ class Link {
 
   sim::Simulator& simulator_;
   Network& network_;
+  sim::NodeId from_node_;
   sim::NodeId to_node_;
   int to_port_;
   double capacity_bps_;

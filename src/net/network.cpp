@@ -19,9 +19,9 @@ std::pair<int, int> Network::connect(sim::NodeId a, sim::NodeId b,
   na.neighbors_.push_back(b);
   nb.neighbors_.push_back(a);
   links_[static_cast<std::size_t>(a)].push_back(
-      std::make_unique<Link>(simulator_, *this, b, port_b, a_to_b));
+      std::make_unique<Link>(simulator_, *this, a, b, port_b, a_to_b));
   links_[static_cast<std::size_t>(b)].push_back(
-      std::make_unique<Link>(simulator_, *this, a, port_a, b_to_a));
+      std::make_unique<Link>(simulator_, *this, b, a, port_a, b_to_a));
   routes_valid_ = false;
   return {port_a, port_b};
 }
@@ -105,18 +105,30 @@ void Network::transmit(sim::NodeId from, int port, sim::Packet&& p) {
 void Network::deliver(sim::NodeId to, sim::Packet&& p, int in_port) {
   ++counters_.delivered;
   simulator_.trace().fold(simulator_.now(), sim::TraceKind::kDeliver, to, p.uid);
+  if (simulator_.tracing()) {
+    simulator_.trace_event({simulator_.now(), sim::TraceVerb::kDeliver, to,
+                            p.uid, 0, in_port, -1});
+  }
   node(to).receive(std::move(p), in_port);
 }
 
 void Network::drop_ttl(const sim::Packet& p, sim::NodeId at) {
   ++counters_.dropped_ttl;
   simulator_.trace().fold(simulator_.now(), sim::TraceKind::kTtlDrop, at, p.uid);
+  if (simulator_.tracing()) {
+    simulator_.trace_event(
+        {simulator_.now(), sim::TraceVerb::kTtlDrop, at, p.uid, 0, -1, -1});
+  }
 }
 
 void Network::drop_filter(const sim::Packet& p, sim::NodeId at) {
   ++counters_.dropped_filter;
   simulator_.trace().fold(simulator_.now(), sim::TraceKind::kFilterDrop, at,
                           p.uid);
+  if (simulator_.tracing()) {
+    simulator_.trace_event(
+        {simulator_.now(), sim::TraceVerb::kFilterDrop, at, p.uid, 0, -1, -1});
+  }
 }
 
 std::uint64_t Network::total_queue_drops() const {

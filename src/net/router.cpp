@@ -51,6 +51,11 @@ void Router::receive(sim::Packet&& p, int in_port) {
   for (ForwardTap* tap : taps_) tap->on_forward(p, in_port, out_port);
 
   ++forwarded_;
+  sim::Simulator& simulator = network().simulator();
+  if (simulator.tracing()) {
+    simulator.trace_event({simulator.now(), sim::TraceVerb::kForward, id(),
+                           p.uid, 0, in_port, out_port});
+  }
   network().transmit(id(), out_port, std::move(p));
 }
 

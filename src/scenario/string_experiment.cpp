@@ -11,10 +11,13 @@
 #include "net/invariant_checker.hpp"
 #include "net/network.hpp"
 #include "topo/string_topo.hpp"
+#include "trace/export.hpp"
+#include "trace/tracer.hpp"
 #include "traffic/cbr.hpp"
 #include "traffic/follower.hpp"
 #include "traffic/onoff.hpp"
 #include "traffic/spoof.hpp"
+#include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace hbp::scenario {
@@ -25,6 +28,13 @@ StringResult run_string_experiment(const StringExperimentConfig& config,
   sim::Simulator simulator(config.scheduler);
   if (config.profile) simulator.enable_profiling();
   net::Network network(simulator);
+  std::unique_ptr<trace::Tracer> tracer;
+  if (!config.trace_path.empty()) {
+    trace::TracerOptions trace_options;
+    trace_options.flight_capacity = config.trace_flight;
+    tracer = std::make_unique<trace::Tracer>(trace_options);
+    tracer->attach(simulator, &network);
+  }
 
   topo::StringParams sp;
   sp.hops = config.h;
@@ -130,6 +140,7 @@ StringResult run_string_experiment(const StringExperimentConfig& config,
   network.export_telemetry(simulator.telemetry());
   control.export_telemetry(simulator.telemetry());
   defense.export_telemetry(simulator.telemetry());
+  if (tracer) tracer->export_counters(simulator.telemetry());
   if (const telemetry::LoopProfiler* prof = simulator.profiler()) {
     for (const auto& ts : prof->by_type()) {
       simulator.telemetry()
@@ -147,6 +158,10 @@ StringResult run_string_experiment(const StringExperimentConfig& config,
   result.perf.events_executed = simulator.events_executed();
   result.perf.peak_rss_bytes = telemetry::peak_rss_bytes();
   result.perf.sim_seconds = simulator.now().to_seconds();
+  if (tracer) {
+    HBP_ASSERT_MSG(trace::write_trace_file(*tracer, config.trace_path),
+                   "could not write the trace file");
+  }
   return result;
 }
 

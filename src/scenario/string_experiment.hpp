@@ -3,9 +3,11 @@
 // start to switch-port shutoff, to be compared with Eqs. (3)-(11).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "sim/event_queue.hpp"
 #include "telemetry/report.hpp"
@@ -32,6 +34,11 @@ struct StringExperimentConfig {
   // Pending-event-set backend; both realise the same (time, seq) total
   // order, so the trace digest is identical under either.
   sim::SchedulerKind scheduler = sim::SchedulerKind::kBinaryHeap;
+  // Causal tracing (src/trace): export every span event here after the run
+  // (".csv" => CSV, else Chrome/Perfetto JSON).  Observational — digests
+  // are bit-identical with tracing on or off.
+  std::string trace_path;
+  std::size_t trace_flight = 256;  // flight-recorder depth (last N events)
 };
 
 struct StringResult {

@@ -9,6 +9,8 @@
 #include "honeypot/client.hpp"
 #include "net/invariant_checker.hpp"
 #include "net/network.hpp"
+#include "trace/export.hpp"
+#include "trace/tracer.hpp"
 #include "traffic/follower.hpp"
 #include "traffic/onoff.hpp"
 #include "traffic/probe.hpp"
@@ -46,6 +48,13 @@ TreeResult run_tree_experiment(const TreeExperimentConfig& config,
   sim::Simulator simulator(config.scheduler);
   if (config.profile) simulator.enable_profiling();
   net::Network network(simulator);
+  std::unique_ptr<trace::Tracer> tracer;
+  if (!config.trace_path.empty()) {
+    trace::TracerOptions trace_options;
+    trace_options.flight_capacity = config.trace_flight;
+    tracer = std::make_unique<trace::Tracer>(trace_options);
+    tracer->attach(simulator, &network);
+  }
   util::Rng topo_rng(util::derive_seed(seed, 1));
   util::Rng place_rng(util::derive_seed(seed, 2));
   util::Rng chain_rng(util::derive_seed(seed, 3));
@@ -383,6 +392,7 @@ TreeResult run_tree_experiment(const TreeExperimentConfig& config,
   control.export_telemetry(simulator.telemetry());
   if (defense) defense->export_telemetry(simulator.telemetry());
   if (pushback_system) pushback_system->export_telemetry(simulator.telemetry());
+  if (tracer) tracer->export_counters(simulator.telemetry());
   if (const telemetry::LoopProfiler* prof = simulator.profiler()) {
     for (const auto& ts : prof->by_type()) {
       simulator.telemetry()
@@ -403,6 +413,10 @@ TreeResult run_tree_experiment(const TreeExperimentConfig& config,
 
   net::InvariantChecker audit(network);
   audit.expect_ok();
+  if (tracer) {
+    HBP_ASSERT_MSG(trace::write_trace_file(*tracer, config.trace_path),
+                   "could not write the trace file");
+  }
   return result;
 }
 

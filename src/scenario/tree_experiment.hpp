@@ -78,6 +78,16 @@ struct TreeExperimentConfig {
   // trace digest.
   bool profile = false;
 
+  // Causal tracing (src/trace): when non-empty, every packet-lifecycle and
+  // HBP/pushback control-plane span event is recorded and exported to this
+  // path after the run (".csv" => long-format CSV, anything else => Chrome
+  // trace-event / Perfetto JSON).  Observational like profiling: the trace
+  // digest is bit-identical with tracing on or off.
+  std::string trace_path;
+  // Flight-recorder depth: the last N trace events kept for the invariant
+  // checker's failure diagnostic.
+  std::size_t trace_flight = 256;
+
   // Pending-event-set backend; both realise the same (time, seq) total
   // order, so the trace digest is identical under either.
   sim::SchedulerKind scheduler = sim::SchedulerKind::kBinaryHeap;

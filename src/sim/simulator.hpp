@@ -20,6 +20,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 #include "sim/trace_digest.hpp"
+#include "sim/trace_event.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/registry.hpp"
 
@@ -64,9 +65,32 @@ class Simulator {
   TraceDigest& trace() { return trace_; }
   const TraceDigest& trace() const { return trace_; }
 
+  // Causal tracing sink (trace::Tracer::attach installs one).  Like
+  // profiling, tracing is observational: hooks fire only behind tracing(),
+  // never schedule events or consume randomness, so digests stay
+  // bit-identical whether a sink is installed or not.
+  void set_trace_sink(TraceSink sink) { trace_sink_ = sink; }
+  bool tracing() const { return static_cast<bool>(trace_sink_); }
+  void trace_event(const TraceEvent& e) {
+    if (trace_sink_) trace_sink_(e);
+  }
+
+  // Flight-recorder dump hook: appends the recorder's last-N-events tail to
+  // `out`.  Returns false (and leaves `out` alone) when no recorder is
+  // attached — invariant-audit diagnostics degrade gracefully.
+  void set_flight_dump(TraceDumpFn dump) { flight_dump_ = dump; }
+  bool dump_flight(std::string& out) const {
+    if (!flight_dump_) return false;
+    flight_dump_(out);
+    return true;
+  }
+
   // Per-run instrument registry, created on first use (a Simulator that
   // never touches telemetry allocates nothing).
   telemetry::Registry& telemetry();
+  // True once the lazy registry exists; lets tests assert that passive
+  // observers (disabled profiler/tracer) never mutate telemetry state.
+  bool has_telemetry() const { return telemetry_ != nullptr; }
   // Shared handle so results can outlive the Simulator (scenario runners
   // hand it to TreeResult/StringResult).
   std::shared_ptr<telemetry::Registry> telemetry_ptr();
@@ -84,6 +108,8 @@ class Simulator {
   SimTime now_ = SimTime::zero();
   std::uint64_t executed_ = 0;
   TraceDigest trace_;
+  TraceSink trace_sink_;
+  TraceDumpFn flight_dump_;
   std::shared_ptr<telemetry::Registry> telemetry_;
   std::unique_ptr<telemetry::LoopProfiler> profiler_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 #include "util/assert.hpp"
 
@@ -38,7 +39,14 @@ void Log2Histogram::record(std::uint64_t v) {
 
 double Log2Histogram::quantile(double q) const {
   if (count_ == 0) return 0.0;
+  if (std::isnan(q)) return static_cast<double>(min_);  // clamp() keeps NaN
   q = std::clamp(q, 0.0, 1.0);
+  // Exact endpoints: within-bucket interpolation can place q=0 above the
+  // recorded minimum (or q=1 below the maximum) because a bucket's
+  // population is assumed uniform over [lo, hi]; the extremes are tracked
+  // exactly, so report them exactly.
+  if (q == 0.0) return static_cast<double>(min_);
+  if (q == 1.0) return static_cast<double>(max_);
   // Rank of the target sample, 1-based.
   const double rank = q * static_cast<double>(count_ - 1) + 1.0;
   std::uint64_t seen = 0;

@@ -61,7 +61,9 @@ class Log2Histogram {
 
   // Quantile estimate (q in [0, 1]) by linear interpolation inside the
   // bucket holding the q-th sample, clamped to the observed min/max.
-  // Returns 0 on an empty histogram.
+  // Edge behavior: q outside [0, 1] is clamped, NaN is treated as 0,
+  // q == 0 returns exactly min(), q == 1 returns exactly max(), and an
+  // empty histogram returns 0.
   double quantile(double q) const;
 
   void merge(const Log2Histogram& other);

@@ -1,0 +1,30 @@
+// Trace exporters: Chrome trace-event / Perfetto JSON and long-format CSV.
+//
+// Both formats are byte-deterministic functions of the recorded events (all
+// timestamps are integer sim-nanos formatted with integer math; node names
+// come from the Network, itself built deterministically), so two runs of
+// the same seed produce byte-identical files — a ctest pins this.
+//
+// JSON shape: {"traceEvents":[...]} with one instant event ("ph":"i") per
+// TraceEvent on pid 1, tid = node+2 (tid 1 is the AS-level control plane),
+// plus "thread_name" metadata per node.  Load it in Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace hbp::trace {
+
+class Tracer;
+
+void write_chrome_json(const Tracer& tracer, std::ostream& out);
+
+// Header: t_ns,verb,node,node_name,id,cause,a,b — one row per event.
+void write_csv(const Tracer& tracer, std::ostream& out);
+
+// Dispatches on extension: ".csv" => CSV, anything else => Chrome JSON.
+// Returns false if the file could not be opened.
+bool write_trace_file(const Tracer& tracer, const std::string& path);
+
+}  // namespace hbp::trace

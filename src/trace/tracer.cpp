@@ -1,0 +1,80 @@
+#include "trace/tracer.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "net/network.hpp"
+#include "telemetry/registry.hpp"
+#include "util/assert.hpp"
+
+namespace hbp::trace {
+
+Tracer::Tracer(const TracerOptions& options) : options_(options) {
+  flight_.resize(options_.flight_capacity);
+}
+
+Tracer::~Tracer() { detach(); }
+
+void Tracer::attach(sim::Simulator& simulator, const net::Network* network) {
+  HBP_ASSERT_MSG(attached_ == nullptr, "Tracer is already attached");
+  attached_ = &simulator;
+  network_ = network;
+  simulator.set_trace_sink(sim::TraceSink::bind<&Tracer::record>(*this));
+  simulator.set_flight_dump(sim::TraceDumpFn::bind<&Tracer::dump_flight>(*this));
+}
+
+void Tracer::detach() {
+  if (attached_ == nullptr) return;
+  attached_->set_trace_sink(nullptr);
+  attached_->set_flight_dump(nullptr);
+  attached_ = nullptr;
+}
+
+void Tracer::record(const sim::TraceEvent& e) {
+  ++recorded_;
+  ++by_verb_[static_cast<std::size_t>(e.verb)];
+  if (!flight_.empty()) {
+    flight_[flight_head_] = e;
+    flight_head_ = (flight_head_ + 1) % flight_.size();
+    if (flight_count_ < flight_.size()) ++flight_count_;
+  }
+  if (!options_.keep_full) return;
+  if (size_ == chunks_.size() * kChunkEvents) {
+    chunks_.push_back(std::make_unique<Chunk>());
+  }
+  (*chunks_.back())[size_ % kChunkEvents] = e;
+  ++size_;
+}
+
+void Tracer::dump_flight(std::string& out) const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "flight recorder (last %zu of %llu events):\n", flight_count_,
+                static_cast<unsigned long long>(recorded_));
+  out += buf;
+  for_each_flight([&](const sim::TraceEvent& e) {
+    const char* name = "";
+    if (network_ != nullptr && e.node >= 0 &&
+        static_cast<std::size_t>(e.node) < network_->node_count()) {
+      name = network_->node(e.node).name().c_str();
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  t=%.9fs %-19s node=%d(%s) id=%llu cause=%llu a=%d b=%d\n",
+                  e.t.to_seconds(), sim::verb_name(e.verb), e.node, name,
+                  static_cast<unsigned long long>(e.id),
+                  static_cast<unsigned long long>(e.cause), e.a, e.b);
+    out += buf;
+  });
+}
+
+void Tracer::export_counters(telemetry::Registry& registry) const {
+  registry.counter("trace.recorded").add(recorded_);
+  for (std::size_t v = 0; v < sim::kTraceVerbCount; ++v) {
+    if (by_verb_[v] == 0) continue;
+    std::string key = "trace.verb.";
+    key += sim::verb_name(static_cast<sim::TraceVerb>(v));
+    registry.counter(key).add(by_verb_[v]);
+  }
+}
+
+}  // namespace hbp::trace

@@ -1,0 +1,118 @@
+// The causal-trace recorder: receives sim::TraceEvent records from the
+// Simulator's sink and stores them in two places at once:
+//
+//  * a chunked slab store (full trace, exporters iterate it in emission
+//    order) — appended amortized, never one heap allocation per event, so
+//    the enabled path stays cheap and the disabled path (no Tracer
+//    attached) costs exactly one branch per hook;
+//  * a fixed-capacity flight-recorder ring (last N events) that
+//    net::InvariantChecker dumps into its diagnostic when an audit fails,
+//    whether or not the full trace is kept.
+//
+// A Tracer must outlive its attachment: attach() hands the Simulator
+// function_refs bound to *this (see util/function_ref.hpp's lifetime
+// contract); detach() — or the destructor — removes them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/trace_event.hpp"
+
+namespace hbp::net {
+class Network;
+}
+namespace hbp::telemetry {
+class Registry;
+}
+
+namespace hbp::trace {
+
+struct TracerOptions {
+  // Keep the full event stream for export.  When false only the flight
+  // ring and per-verb counters are maintained (bounded memory, still
+  // enough for invariant-failure forensics).
+  bool keep_full = true;
+  // Flight-recorder depth ("last N events"); 0 disables the ring.
+  std::size_t flight_capacity = 256;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(const TracerOptions& options = {});
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+  ~Tracer();
+
+  // Installs this tracer as the simulator's trace sink and flight-dump
+  // hook.  `network`, when given, is only used to resolve node names in
+  // dumps and exports; it must outlive the tracer's use.
+  void attach(sim::Simulator& simulator, const net::Network* network = nullptr);
+  void detach();
+  bool attached() const { return attached_ != nullptr; }
+  const net::Network* network() const { return network_; }
+
+  // The sink itself; also callable directly (tests).
+  void record(const sim::TraceEvent& e);
+
+  // Total events seen (recorded + flight-only).
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t verb_count(sim::TraceVerb v) const {
+    return by_verb_[static_cast<std::size_t>(v)];
+  }
+
+  // Full-trace access, in emission order (empty when keep_full is off).
+  std::size_t size() const { return size_; }
+  const sim::TraceEvent& event(std::size_t i) const { return event_at(i); }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < size_; ++i) fn(event_at(i));
+  }
+
+  // Flight ring, oldest to newest.
+  std::size_t flight_capacity() const { return flight_.size(); }
+  std::size_t flight_size() const { return flight_count_; }
+  template <typename Fn>
+  void for_each_flight(Fn&& fn) const {
+    const std::size_t n = flight_.size();
+    for (std::size_t i = 0; i < flight_count_; ++i) {
+      fn(flight_[(flight_head_ + n - flight_count_ + i) % n]);
+    }
+  }
+  // Appends a human-readable "last N events" tail to `out` (the shape the
+  // InvariantChecker embeds in its failure diagnostic).
+  void dump_flight(std::string& out) const;
+
+  // Registers trace.recorded plus one trace.verb.<name> counter per verb
+  // that fired.  Counts are functions of the simulated history only, so
+  // they land in the deterministic section of exported telemetry.
+  void export_counters(telemetry::Registry& registry) const;
+
+ private:
+  static constexpr std::size_t kChunkEvents = 4096;
+  using Chunk = std::array<sim::TraceEvent, kChunkEvents>;
+
+  const sim::TraceEvent& event_at(std::size_t i) const {
+    return (*chunks_[i / kChunkEvents])[i % kChunkEvents];
+  }
+
+  TracerOptions options_;
+  sim::Simulator* attached_ = nullptr;
+  const net::Network* network_ = nullptr;
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::size_t size_ = 0;
+
+  std::vector<sim::TraceEvent> flight_;
+  std::size_t flight_head_ = 0;   // next slot to overwrite
+  std::size_t flight_count_ = 0;  // valid entries, <= flight_.size()
+
+  std::uint64_t recorded_ = 0;
+  std::array<std::uint64_t, sim::kTraceVerbCount> by_verb_{};
+};
+
+}  // namespace hbp::trace

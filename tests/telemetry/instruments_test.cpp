@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -107,6 +108,55 @@ TEST(Log2Histogram, QuantilesClampedAndMonotone) {
   // inside the bucket [512, 1000-ish]; loosely: within a factor of 2.
   EXPECT_GE(p50, 250.0);
   EXPECT_LE(p50, 1000.0);
+}
+
+TEST(Log2Histogram, QuantileEdgeBehavior) {
+  Log2Histogram h;
+  // All-zero samples: bucket 0 is degenerate ([0, 0]), so every quantile
+  // must be exactly 0 — interpolation has no width to spread over.
+  h.record(0);
+  h.record(0);
+  h.record(0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+
+  // q outside [0, 1] clamps to the endpoints; NaN reads as q = 0.
+  h.record(200);
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), 200.0);
+  EXPECT_DOUBLE_EQ(h.quantile(std::numeric_limits<double>::quiet_NaN()), 0.0);
+
+  // The endpoints report the exact tracked extremes, not the bucket edges:
+  // 200 sits in bucket [128, 255] but q = 1 must return 200 exactly.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 200.0);
+
+  // Same at the low end: min 150 is strictly inside its bucket's range.
+  Log2Histogram g;
+  g.record(150);
+  g.record(151);
+  g.record(152);
+  EXPECT_DOUBLE_EQ(g.quantile(0.0), 150.0);
+  EXPECT_DOUBLE_EQ(g.quantile(1.0), 152.0);
+}
+
+TEST(Log2Histogram, QuantileOverflowBucketStaysFinite) {
+  // Samples in the overflow bucket [2^63, 2^64 - 1] must interpolate with
+  // finite arithmetic and clamp to the observed extremes.
+  Log2Histogram h;
+  const std::uint64_t lo = std::uint64_t{1} << 63;
+  const std::uint64_t hi = std::numeric_limits<std::uint64_t>::max();
+  h.record(lo);
+  h.record(hi);
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_TRUE(std::isfinite(v)) << "q=" << q;
+    EXPECT_GE(v, static_cast<double>(lo)) << "q=" << q;
+    EXPECT_LE(v, static_cast<double>(hi)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), static_cast<double>(lo));
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), static_cast<double>(hi));
 }
 
 TEST(Log2Histogram, QuantileSingleSample) {

@@ -71,6 +71,25 @@ TEST(SimulatorProfiling, CountsAreDeterministicAndDigestUnchanged) {
   EXPECT_GE(simulator.profiler()->peak_queue_depth(), 1u);
 }
 
+TEST(SimulatorProfiling, DisabledProfilerGuardNeverTouchesTelemetry) {
+  // The dispatch loop guards every profiler/telemetry touch behind
+  // `profiler_ != nullptr`: with profiling off, a full run must leave the
+  // lazy registry unconstructed — zero registry mutations, not just zero
+  // visible counters.
+  sim::Simulator simulator;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 100) simulator.after(sim::SimTime::millis(1), tick, "tick");
+  };
+  simulator.after(sim::SimTime::millis(1), tick, "tick");
+  simulator.run_all();
+
+  EXPECT_FALSE(simulator.profiling_enabled());
+  EXPECT_EQ(simulator.profiler(), nullptr);
+  EXPECT_FALSE(simulator.has_telemetry());
+  EXPECT_EQ(simulator.events_executed(), 100u);
+}
+
 TEST(SimulatorTelemetry, LazyRegistrySharedWithResults) {
   sim::Simulator simulator;
   simulator.telemetry().counter("x").add(2);

@@ -1,0 +1,114 @@
+// End-to-end tracing guarantees, pinned by ctest:
+//
+//  * observational purity — running a scenario with tracing enabled leaves
+//    the trace digest and event count bit-identical to an untraced run;
+//  * export determinism — two traced runs of the same seed produce
+//    byte-identical JSON and CSV files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scenario/string_experiment.hpp"
+#include "telemetry/registry.hpp"
+
+namespace hbp::scenario {
+namespace {
+
+// The StringBasicContinuous golden configuration (small and fast, ~1500
+// events), so any digest drift here would also trip the golden tests.
+StringExperimentConfig small_config() {
+  StringExperimentConfig config;
+  config.m = 5.0;
+  config.p = 0.5;
+  config.h = 4;
+  config.attacker_rate_bps = 0.1e6;
+  config.tau = 0.5;
+  config.progressive = false;
+  config.horizon_seconds = 300.0;
+  return config;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(TraceScenario, TracingLeavesDigestAndEventCountUnchanged) {
+  const StringResult plain = run_string_experiment(small_config(), 42);
+
+  StringExperimentConfig traced = small_config();
+  traced.trace_path = testing::TempDir() + "hbp_trace_onoff.json";
+  const StringResult with_trace = run_string_experiment(traced, 42);
+  std::remove(traced.trace_path.c_str());
+
+  EXPECT_EQ(plain.trace_digest, with_trace.trace_digest);
+  EXPECT_EQ(plain.events_executed, with_trace.events_executed);
+  EXPECT_EQ(plain.captured, with_trace.captured);
+  EXPECT_EQ(plain.capture_seconds, with_trace.capture_seconds);
+  EXPECT_EQ(plain.control_messages, with_trace.control_messages);
+}
+
+TEST(TraceScenario, JsonExportIsByteIdenticalAcrossRuns) {
+  StringExperimentConfig config = small_config();
+  config.trace_path = testing::TempDir() + "hbp_trace_a.json";
+  run_string_experiment(config, 42);
+  const std::string first = slurp(config.trace_path);
+  std::remove(config.trace_path.c_str());
+
+  config.trace_path = testing::TempDir() + "hbp_trace_b.json";
+  run_string_experiment(config, 42);
+  const std::string second = slurp(config.trace_path);
+  std::remove(config.trace_path.c_str());
+
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(TraceScenario, CsvExportIsByteIdenticalAcrossRuns) {
+  StringExperimentConfig config = small_config();
+  config.trace_path = testing::TempDir() + "hbp_trace_a.csv";
+  run_string_experiment(config, 42);
+  const std::string first = slurp(config.trace_path);
+  std::remove(config.trace_path.c_str());
+
+  config.trace_path = testing::TempDir() + "hbp_trace_b.csv";
+  run_string_experiment(config, 42);
+  const std::string second = slurp(config.trace_path);
+  std::remove(config.trace_path.c_str());
+
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.find("t_ns,verb,node,node_name,id,cause,a,b\n"), 0u);
+}
+
+TEST(TraceScenario, TraceCapturesTheWholeBackPropagationWave) {
+  // The string run ends in a capture, so the trace must contain the full
+  // causal chain: data-plane spans, the honeypot hit, the activation, the
+  // propagated requests, and the final switch-port capture.
+  StringExperimentConfig config = small_config();
+  config.trace_path = testing::TempDir() + "hbp_trace_wave.csv";
+  const StringResult result = run_string_experiment(config, 42);
+  ASSERT_TRUE(result.captured);
+  const std::string csv = slurp(config.trace_path);
+  std::remove(config.trace_path.c_str());
+
+  for (const char* verb :
+       {",send,", ",enqueue,", ",deliver,", ",window_start,", ",honeypot_hit,",
+        ",hbp_activate,", ",honeypot_request,", ",session_open,", ",divert,",
+        ",upstream,", ",capture,"}) {
+    EXPECT_NE(csv.find(verb), std::string::npos) << "missing verb " << verb;
+  }
+  // The telemetry side sees the same history: trace counters are exported
+  // into the deterministic registry section.
+  ASSERT_TRUE(result.telemetry);
+  ASSERT_NE(result.telemetry->find_counter("trace.recorded"), nullptr);
+  EXPECT_GT(result.telemetry->find_counter("trace.recorded")->value(), 0u);
+}
+
+}  // namespace
+}  // namespace hbp::scenario

@@ -1,0 +1,54 @@
+# Validates a Chrome trace-event / Perfetto JSON export (from
+# `--trace=run.json`): the document must parse as JSON, hold a non-empty
+# traceEvents array, and every entry must carry the fields Perfetto needs
+# (ph, pid, tid; name+ts for instant events).  Pure CMake (string(JSON)) so
+# CI can gate on it with no extra deps.
+#
+#   cmake -DTRACE=run.json -P tools/check_trace.cmake
+cmake_minimum_required(VERSION 3.20)
+
+if(NOT DEFINED TRACE)
+  message(FATAL_ERROR "usage: cmake -DTRACE=<trace.json> -P check_trace.cmake")
+endif()
+if(NOT EXISTS ${TRACE})
+  message(FATAL_ERROR "no such file: ${TRACE}")
+endif()
+
+file(READ ${TRACE} doc)
+string(JSON n_events ERROR_VARIABLE err LENGTH "${doc}" traceEvents)
+if(NOT err STREQUAL "NOTFOUND")
+  message(FATAL_ERROR "${TRACE}: not a trace-event document: ${err}")
+endif()
+if(n_events EQUAL 0)
+  message(FATAL_ERROR "${TRACE}: traceEvents is empty")
+endif()
+
+# Spot-check a handful of entries: metadata events ("ph":"M") name a
+# thread; instant events ("ph":"i") must have a verb name and a timestamp.
+# Every string(JSON GET) re-parses the whole document, so the sample count
+# is bounded (~16) to keep validation fast on multi-MB traces.
+math(EXPR stride "${n_events} / 15 + 1")
+set(n_instant 0)
+math(EXPR last "${n_events} - 1")
+foreach(i RANGE 0 ${last} ${stride})
+  string(JSON entry GET "${doc}" traceEvents ${i})
+  string(JSON ph GET "${entry}" ph)
+  string(JSON pid GET "${entry}" pid)
+  string(JSON tid GET "${entry}" tid)
+  if(ph STREQUAL "i")
+    string(JSON name GET "${entry}" name)
+    string(JSON ts GET "${entry}" ts)
+    if(name STREQUAL "" OR ts STREQUAL "")
+      message(FATAL_ERROR "${TRACE}: traceEvents[${i}] lacks name/ts")
+    endif()
+    math(EXPR n_instant "${n_instant} + 1")
+  elseif(NOT ph STREQUAL "M")
+    message(FATAL_ERROR "${TRACE}: traceEvents[${i}] has unexpected ph '${ph}'")
+  endif()
+endforeach()
+if(n_instant EQUAL 0)
+  message(FATAL_ERROR "${TRACE}: no instant events sampled")
+endif()
+
+message(STATUS
+  "${TRACE}: OK (${n_events} traceEvents, sampled every ${stride})")
